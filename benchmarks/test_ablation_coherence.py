@@ -1,0 +1,72 @@
+"""Ablation: memory-system choice (classic vs MI_example vs
+MESI_Two_Level).
+
+Fig 8's caption describes the trade-off — classic is "fast but lacks
+coherence fidelity"; Ruby is "slower but models detailed memory".  This
+ablation runs a sharing-heavy PARSEC workload across the three systems
+and core counts to quantify what each choice costs and what it models.
+"""
+
+import pytest
+
+from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+from repro.sim.workload import get_parsec_workload
+
+MEMS = ("classic", "MI_example", "MESI_Two_Level")
+
+
+def run_time(memory_system: str, num_cpus: int) -> float:
+    config = SystemConfig(
+        cpu_type="timing",
+        num_cpus=num_cpus,
+        memory_system=memory_system,
+    )
+    simulator = Gem5Simulator(Gem5Build(), config)
+    result = simulator.run_se(get_parsec_workload("streamcluster"))
+    return result.sim_seconds
+
+
+@pytest.fixture(scope="module")
+def times():
+    data = {}
+    for mem in MEMS:
+        for cpus in (1, 8):
+            if mem == "classic" and cpus > 1:
+                continue  # unsupported with timing CPUs
+            data[(mem, cpus)] = run_time(mem, cpus)
+    return data
+
+
+def test_ruby_slower_than_classic_single_core(times):
+    assert times[("MESI_Two_Level", 1)] > times[("classic", 1)]
+    assert times[("MI_example", 1)] > times[("classic", 1)]
+
+
+def test_mi_coherence_cost_exceeds_mesi(times):
+    assert times[("MI_example", 8)] > times[("MESI_Two_Level", 8)]
+
+
+def test_multicore_still_speeds_up_under_ruby(times):
+    for mem in ("MI_example", "MESI_Two_Level"):
+        assert times[(mem, 8)] < times[(mem, 1)]
+
+
+def test_mi_scales_worse_than_mesi(times):
+    mi_speedup = times[("MI_example", 1)] / times[("MI_example", 8)]
+    mesi_speedup = (
+        times[("MESI_Two_Level", 1)] / times[("MESI_Two_Level", 8)]
+    )
+    assert mi_speedup < mesi_speedup
+
+
+def test_render(times, capsys):
+    with capsys.disabled():
+        print("\nAblation: streamcluster (sharing-heavy) runtime by "
+              "memory system")
+        for (mem, cpus), seconds in sorted(times.items()):
+            print(f"  {mem:<16} {cpus} core(s): {seconds:.4f}s")
+
+
+def test_bench_ruby_run(benchmark):
+    seconds = benchmark(run_time, "MESI_Two_Level", 8)
+    assert seconds > 0

@@ -1,0 +1,95 @@
+"""Ablation: which guest-stack ingredient drives the Fig 6/7 deltas?
+
+The paper *suspects* the compiler (GCC 7.4 vs 9.3) as the main cause of
+the OS difference, with the kernel "possibly playing a role".  Because the
+reproduction models both explicitly, we can do the experiment the authors
+could not: swap one ingredient at a time.
+"""
+
+import pytest
+
+from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+from repro.sim.engine import ExecutionEngine, ExecutionModifiers
+from repro.guest import get_compiler, get_kernel
+from repro.sim.workload import get_parsec_workload
+
+
+def run_with(compiler_key: str, kernel_version: str, num_cpus: int):
+    compiler = get_compiler(compiler_key)
+    kernel = get_kernel(kernel_version)
+    engine = ExecutionEngine(
+        SystemConfig(
+            cpu_type="timing",
+            num_cpus=num_cpus,
+            memory_system="MESI_Two_Level",
+        ),
+        modifiers=ExecutionModifiers(
+            instruction_scale=compiler.instruction_scale,
+            memory_stall_scale=compiler.memory_cpi_scale,
+            scheduler_efficiency=kernel.scheduler_efficiency,
+            syscall_cost_scale=kernel.syscall_cost_scale,
+        ),
+    )
+    outcome = engine.execute(get_parsec_workload("ferret"))
+    return outcome.sim_seconds
+
+
+@pytest.fixture(scope="module")
+def grid():
+    data = {}
+    for compiler in ("gcc-7.4", "gcc-9.3"):
+        for kernel in ("4.15.18", "5.4.51"):
+            for cpus in (1, 8):
+                data[(compiler, kernel, cpus)] = run_with(
+                    compiler, kernel, cpus
+                )
+    return data
+
+
+def test_compiler_dominates_single_core_delta(grid):
+    """At 1 core the scheduler is irrelevant; the whole OS gap must come
+    from codegen — confirming the paper's suspicion."""
+    compiler_effect = grid[("gcc-7.4", "4.15.18", 1)] - grid[
+        ("gcc-9.3", "4.15.18", 1)
+    ]
+    kernel_effect = grid[("gcc-7.4", "4.15.18", 1)] - grid[
+        ("gcc-7.4", "5.4.51", 1)
+    ]
+    assert compiler_effect > 0
+    assert abs(kernel_effect) < compiler_effect * 0.25
+
+
+def test_kernel_contributes_at_8_cores(grid):
+    """At 8 cores the newer kernel's scheduler shows up."""
+    kernel_effect = grid[("gcc-7.4", "4.15.18", 8)] - grid[
+        ("gcc-7.4", "5.4.51", 8)
+    ]
+    assert kernel_effect > 0
+
+
+def test_combined_stack_matches_sum_of_parts_direction(grid):
+    full_gap = grid[("gcc-7.4", "4.15.18", 8)] - grid[
+        ("gcc-9.3", "5.4.51", 8)
+    ]
+    compiler_only = grid[("gcc-7.4", "4.15.18", 8)] - grid[
+        ("gcc-9.3", "4.15.18", 8)
+    ]
+    kernel_only = grid[("gcc-7.4", "4.15.18", 8)] - grid[
+        ("gcc-7.4", "5.4.51", 8)
+    ]
+    assert full_gap > compiler_only
+    assert full_gap > kernel_only
+
+
+def test_render(grid, capsys):
+    with capsys.disabled():
+        print("\nAblation: ferret runtime by (compiler, kernel, cores)")
+        for key in sorted(grid):
+            compiler, kernel, cpus = key
+            print(f"  {compiler} + linux-{kernel} @ {cpus}c: "
+                  f"{grid[key]:.4f}s")
+
+
+def test_bench_one_cell(benchmark):
+    seconds = benchmark(run_with, "gcc-9.3", "5.4.51", 8)
+    assert seconds > 0

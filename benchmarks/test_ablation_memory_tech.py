@@ -1,0 +1,72 @@
+"""Ablation: DRAM technology and channel count.
+
+gem5 ships multiple memory technologies (the Table II experiments pin
+DDR3_1600_8x8 with one channel); this ablation sweeps the modelled
+technologies and channel counts on a memory-bound workload to verify the
+memory system responds the way the datasheet numbers say it should.
+"""
+
+import pytest
+
+from repro.sim import Gem5Build, Gem5Simulator, MEMORY_TECHS, SystemConfig
+from repro.sim.workload import get_workload
+
+
+def run_time(memory_tech: str, channels: int) -> float:
+    config = SystemConfig(
+        cpu_type="timing",
+        num_cpus=8,
+        memory_system="MESI_Two_Level",
+        memory_tech=memory_tech,
+        memory_channels=channels,
+    )
+    simulator = Gem5Simulator(Gem5Build(), config)
+    # streamcluster at 8 cores is bandwidth-hungry.
+    result = simulator.run_se(get_workload("parsec", "streamcluster"))
+    return result.sim_seconds
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    data = {}
+    for tech in MEMORY_TECHS:
+        for channels in (1, 2, 4):
+            data[(tech, channels)] = run_time(tech, channels)
+    return data
+
+
+def test_faster_technologies_are_faster(sweep):
+    assert sweep[("DDR4_2400_16x4", 1)] <= sweep[("DDR3_1600_8x8", 1)]
+    assert sweep[("HBM_1000_4H_1x64", 1)] <= sweep[("DDR4_2400_16x4", 1)]
+
+
+def test_channels_never_hurt(sweep):
+    for tech in MEMORY_TECHS:
+        assert sweep[(tech, 2)] <= sweep[(tech, 1)]
+        assert sweep[(tech, 4)] <= sweep[(tech, 2)]
+
+
+def test_channel_scaling_saturates(sweep):
+    """Once latency (not bandwidth) dominates, channels stop helping —
+    the second doubling buys less than the first."""
+    for tech in MEMORY_TECHS:
+        gain_first = sweep[(tech, 1)] - sweep[(tech, 2)]
+        gain_second = sweep[(tech, 2)] - sweep[(tech, 4)]
+        assert gain_second <= gain_first + 1e-12
+
+
+def test_render(sweep, capsys, benchmark):
+    def render():
+        lines = ["Ablation: streamcluster (8 cores) by memory system"]
+        for (tech, channels), seconds in sorted(sweep.items()):
+            lines.append(f"  {tech:<18} x{channels}: {seconds:.4f}s")
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    with capsys.disabled():
+        print("\n" + text)
+
+
+def test_bench_memory_tech_point(benchmark):
+    seconds = benchmark(run_time, "DDR4_2400_16x4", 2)
+    assert seconds > 0

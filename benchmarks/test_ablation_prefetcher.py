@@ -1,0 +1,68 @@
+"""Ablation: the stride prefetcher across workload classes.
+
+Not a paper figure — an extension study enabled by the model: how much a
+stride prefetcher buys each suite.  Regular streams (libquantum-style,
+GAPBS graph construction) benefit; pointer chasing (mcf, GAPBS kernels)
+does not, and pays nothing.
+"""
+
+import pytest
+
+from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+from repro.sim.workload import get_workload
+
+CASES = {
+    "spec-2006/libquantum": ("spec-2006", "libquantum", "test"),
+    "spec-2006/mcf": ("spec-2006", "mcf", "test"),
+    "spec-2006/hmmer": ("spec-2006", "hmmer", "test"),
+    "gapbs/bfs": ("gapbs", "bfs", "14"),
+    "parsec/streamcluster": ("parsec", "streamcluster", "simsmall"),
+}
+
+
+def run(case, prefetcher: bool) -> float:
+    suite, app, size = CASES[case]
+    config = SystemConfig(cpu_type="timing", prefetcher=prefetcher)
+    simulator = Gem5Simulator(Gem5Build(), config)
+    return simulator.run_se(get_workload(suite, app, size)).sim_seconds
+
+
+@pytest.fixture(scope="module")
+def speedups():
+    return {
+        case: run(case, False) / run(case, True) for case in CASES
+    }
+
+
+def test_prefetcher_never_hurts(speedups):
+    for case, speedup in speedups.items():
+        assert speedup >= 0.999, (case, speedup)
+
+
+def test_streaming_gains_most(speedups):
+    assert max(speedups, key=speedups.get) == "spec-2006/libquantum"
+    assert speedups["spec-2006/libquantum"] > 1.3
+
+
+def test_pointer_chasing_gains_least(speedups):
+    assert speedups["spec-2006/mcf"] < 1.05
+    assert speedups["spec-2006/mcf"] <= min(
+        s for c, s in speedups.items() if c != "spec-2006/mcf"
+    ) + 0.05
+
+
+def test_render(speedups, capsys, benchmark):
+    def render():
+        lines = ["Ablation: stride prefetcher speedup by workload"]
+        for case, speedup in sorted(speedups.items()):
+            lines.append(f"  {case:<24} {speedup:.3f}x")
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    with capsys.disabled():
+        print("\n" + text)
+
+
+def test_bench_prefetcher_run(benchmark):
+    seconds = benchmark(run, "spec-2006/libquantum", True)
+    assert seconds > 0

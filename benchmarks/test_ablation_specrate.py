@@ -1,0 +1,85 @@
+"""Ablation: SPECrate-style throughput scaling.
+
+An extension study on the SPEC models: run N copies per core and watch
+throughput scale — linear for cache-resident integer code, saturating at
+the DDR3 bandwidth ceiling for the memory-bound benchmarks.  (Runs under
+the O3 CPU, whose higher per-core demand is what pushes the channel to
+saturation.)
+"""
+
+import pytest
+
+from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+from repro.sim.workload import get_workload
+
+BENCHMARKS = ("exchange2_r", "leela_r", "xz_r", "mcf_r")
+COPIES = (1, 2, 4, 8)
+
+
+def rate(benchmark: str, copies: int) -> float:
+    simulator = Gem5Simulator(
+        Gem5Build(),
+        SystemConfig(
+            cpu_type="o3", num_cpus=8, memory_system="MESI_Two_Level"
+        ),
+    )
+    workload = get_workload("spec-2017", benchmark, "test")
+    return simulator.run_se_rate(workload, copies=copies).stats["rate"]
+
+
+@pytest.fixture(scope="module")
+def rates():
+    return {
+        benchmark: {copies: rate(benchmark, copies) for copies in COPIES}
+        for benchmark in BENCHMARKS
+    }
+
+
+def test_throughput_never_decreases(rates):
+    for benchmark, series in rates.items():
+        ordered = [series[c] for c in COPIES]
+        assert ordered == sorted(ordered), benchmark
+
+
+def test_compute_bound_scales_nearly_linearly(rates):
+    scaling = rates["exchange2_r"][8] / rates["exchange2_r"][1]
+    assert scaling > 6.0
+
+
+def test_memory_bound_saturates(rates):
+    scaling = rates["mcf_r"][8] / rates["mcf_r"][1]
+    assert scaling < 4.5
+
+
+def test_ordering_matches_memory_intensity(rates):
+    scalings = {
+        benchmark: series[8] / series[1]
+        for benchmark, series in rates.items()
+    }
+    assert scalings["exchange2_r"] > scalings["xz_r"]
+    assert scalings["xz_r"] >= scalings["mcf_r"]
+
+
+def test_render(rates, capsys, benchmark):
+    def render():
+        lines = ["Ablation: SPECrate scaling (O3, DDR3_1600_8x8 x1)"]
+        header = "  benchmark      " + "".join(
+            f"{c:>10}" for c in COPIES
+        ) + "   scaling"
+        lines.append(header)
+        for name, series in rates.items():
+            row = f"  {name:<14}" + "".join(
+                f"{series[c]:>10.1f}" for c in COPIES
+            )
+            row += f"{series[8] / series[1]:>10.2f}x"
+            lines.append(row)
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    with capsys.disabled():
+        print("\n" + text)
+
+
+def test_bench_rate_run(benchmark):
+    throughput = benchmark(rate, "leela_r", 8)
+    assert throughput > 0

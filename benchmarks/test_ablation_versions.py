@@ -1,0 +1,103 @@
+"""Ablation: simulator-release comparison.
+
+The paper's introduction motivates gem5art with exactly this study: "It
+is important to use up-to-date versions of all items utilized in any
+experiment ... and, preferably, compare how new versions of these
+components impact performance."  This bench runs the same PARSEC point on
+gem5 v20.1.0.4 and v21.0 and quantifies the divergence with the
+validation module.
+"""
+
+import pytest
+
+from repro.analysis import compare_stats, within_tolerance
+from repro.resources import build_resource
+from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+
+VERSIONS = ("20.1.0.4", "21.0")
+
+
+@pytest.fixture(scope="module")
+def version_results():
+    image = build_resource("parsec").image
+    results = {}
+    for version in VERSIONS:
+        simulator = Gem5Simulator(
+            Gem5Build(version=version),
+            SystemConfig(cpu_type="timing", num_cpus=1),
+        )
+        results[version] = simulator.run_fs(
+            "4.15.18", image, benchmark="streamcluster"
+        )
+    return results
+
+
+def test_both_versions_complete(version_results):
+    assert all(result.ok for result in version_results.values())
+
+
+def test_v21_reports_more_memory_time(version_results):
+    """v21.0's DRAM timing fix makes the same system look slower."""
+    assert (
+        version_results["21.0"].sim_seconds
+        > version_results["20.1.0.4"].sim_seconds
+    )
+
+
+def test_divergence_is_bounded(version_results):
+    comparison = compare_stats(
+        version_results["20.1.0.4"].stats,
+        version_results["21.0"].stats,
+    )
+    assert 0.0 < comparison["mape"] < 0.10
+    assert within_tolerance(
+        version_results["20.1.0.4"].stats,
+        version_results["21.0"].stats,
+        tolerance=0.10,
+    )
+
+
+def test_instruction_counts_identical_across_versions(version_results):
+    """A simulator release changes timing fidelity, not the workload:
+    retired instructions must match exactly."""
+    assert (
+        version_results["20.1.0.4"].instructions
+        == version_results["21.0"].instructions
+    )
+
+
+def test_render(version_results, capsys, benchmark):
+    def render():
+        comparison = compare_stats(
+            version_results["20.1.0.4"].stats,
+            version_results["21.0"].stats,
+        )
+        lines = ["Ablation: gem5 v20.1.0.4 vs v21.0 (streamcluster)"]
+        for version in VERSIONS:
+            result = version_results[version]
+            lines.append(
+                f"  v{version}: {result.sim_seconds:.4f}s simulated"
+            )
+        lines.append(f"  MAPE over shared stats: {comparison['mape']:.4f}")
+        worst_name, worst_error = comparison["worst"][0]
+        lines.append(
+            f"  largest divergence: {worst_name} ({worst_error:+.3f})"
+        )
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    with capsys.disabled():
+        print("\n" + text)
+
+
+def test_bench_version_comparison(benchmark):
+    image = build_resource("parsec").image
+
+    def run_v21():
+        simulator = Gem5Simulator(
+            Gem5Build(version="21.0"), SystemConfig()
+        )
+        return simulator.run_fs("4.15.18", image, benchmark="swaptions")
+
+    result = benchmark(run_v21)
+    assert result.ok

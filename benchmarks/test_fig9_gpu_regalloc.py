@@ -1,0 +1,130 @@
+"""Regenerates **Fig 9**: GPU execution time (shader ticks) under the
+simple and dynamic register allocators, normalized to simple.
+
+Paper's findings, asserted here:
+
+- surprisingly, the *simple* allocator wins on average (~8%);
+- FAMutex is the worst case for dynamic (61% worse) and fwd_pool is 22%
+  worse — the HeteroSync suite and the pool layers suffer most;
+- small kernels (2dshfl, dynamic_shared, ...) and limited-work apps
+  (HACC, LULESH) are indifferent;
+- inline_asm, MatrixTranspose, PENNANT, stream and some DNNMark layers
+  improve significantly under dynamic allocation.
+"""
+
+import pytest
+
+from repro.analysis import Series, bar_chart
+from repro.gpu import GPU_WORKLOADS, GPUConfig, GPUDevice, \
+    WORKLOADS_BY_SUITE
+
+
+def relative_time(gpu_sweep, name):
+    """T_dynamic / T_simple (1.61 == dynamic 61% worse)."""
+    return gpu_sweep[name]["dynamic"] / gpu_sweep[name]["simple"]
+
+
+def test_fig9_covers_all_29_workloads(gpu_sweep):
+    assert len(gpu_sweep) == 29
+
+
+def test_fig9_simple_wins_on_average(gpu_sweep):
+    mean = sum(
+        relative_time(gpu_sweep, name) for name in gpu_sweep
+    ) / len(gpu_sweep)
+    assert 1.03 <= mean <= 1.12, (
+        f"mean dynamic/simple = {mean:.3f}; paper reports simple better "
+        "by ~8% on average"
+    )
+
+
+def test_fig9_famutex_61_percent_worse(gpu_sweep):
+    ratio = relative_time(gpu_sweep, "FAMutex")
+    assert ratio == pytest.approx(1.61, abs=0.08)
+    assert max(gpu_sweep, key=lambda n: relative_time(gpu_sweep, n)) == (
+        "FAMutex"
+    )
+
+
+def test_fig9_fwd_pool_22_percent_worse(gpu_sweep):
+    assert relative_time(gpu_sweep, "fwd_pool") == pytest.approx(
+        1.22, abs=0.05
+    )
+
+
+def test_fig9_heterosync_suffers(gpu_sweep):
+    for name in WORKLOADS_BY_SUITE["HeteroSync"]:
+        assert relative_time(gpu_sweep, name) > 1.03, name
+
+
+def test_fig9_small_kernels_indifferent(gpu_sweep):
+    for name in ("2dshfl", "dynamic_shared", "shfl", "unroll"):
+        assert relative_time(gpu_sweep, name) == pytest.approx(
+            1.0, abs=0.01
+        ), name
+
+
+def test_fig9_limited_work_apps_indifferent(gpu_sweep):
+    for name in ("HACC", "LULESH"):
+        assert relative_time(gpu_sweep, name) == pytest.approx(
+            1.0, abs=0.05
+        ), name
+
+
+def test_fig9_dynamic_helps_parallel_memory_bound_apps(gpu_sweep):
+    for name in (
+        "inline_asm", "MatrixTranspose", "PENNANT", "stream",
+        "fwd_softmax", "bwd_softmax",
+    ):
+        assert relative_time(gpu_sweep, name) < 0.95, name
+
+
+def test_fig9_expected_categories_all_match(gpu_sweep):
+    for name, workload in GPU_WORKLOADS.items():
+        ratio = relative_time(gpu_sweep, name)
+        if workload.expected_dynamic == "better":
+            assert ratio < 0.97, (name, ratio)
+        elif workload.expected_dynamic == "worse":
+            assert ratio > 1.03, (name, ratio)
+        else:
+            assert 0.95 <= ratio <= 1.05, (name, ratio)
+
+
+def test_fig9_render(gpu_sweep, capsys, benchmark):
+    def render():
+        order = sorted(
+            gpu_sweep, key=lambda n: GPU_WORKLOADS[n].suite
+        )
+        speedup = Series(
+            "dynamic-vs-simple",
+            {name: 1.0 / relative_time(gpu_sweep, name)
+             for name in order},
+        )
+        return bar_chart([speedup], unit="x")
+
+    chart = benchmark(render)
+    with capsys.disabled():
+        print("\nFig 9: dynamic allocator speedup normalized to simple "
+              "(>1 = dynamic wins)")
+        print(chart)
+
+
+def test_bench_gpu_kernel_execution(benchmark):
+    device = GPUDevice(GPUConfig())
+    kernel = GPU_WORKLOADS["MatrixTranspose"].kernel
+    result = benchmark(device.execute, kernel, "dynamic")
+    assert result.shader_ticks > 0
+
+
+def test_bench_full_fig9_sweep(benchmark):
+    device = GPUDevice(GPUConfig())
+
+    def sweep():
+        return [
+            device.execute(workload.kernel, allocator).shader_ticks
+            for workload in GPU_WORKLOADS.values()
+            for allocator in ("simple", "dynamic")
+        ]
+
+    ticks = benchmark(sweep)
+    assert len(ticks) == 58

@@ -1,0 +1,59 @@
+"""Regenerates **Table II**: the use-case 1 configuration parameters.
+
+The table is configuration, not measurement; this bench asserts that the
+reproduction's objects expose exactly the paper's values and times the
+construction of the simulated system.
+"""
+
+from repro.common import TextTable
+from repro.guest import get_distro
+from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+from repro.sim.workload import PARSEC_WORKING_APPS
+
+
+def test_table2_values(capsys, benchmark):
+    bionic = get_distro("18.04")
+    focal = get_distro("20.04")
+    config = SystemConfig(
+        cpu_type="timing",
+        num_cpus=1,
+        memory_tech="DDR3_1600_8x8",
+        memory_channels=1,
+    )
+
+    assert config.cpu_type == "timing"  # TimingSimpleCPU
+    assert config.dram.name == "DDR3_1600_8x8"
+    assert config.memory_channels == 1
+    assert bionic.kernel_version == "4.15.18"
+    assert focal.kernel_version == "5.4.51"
+    assert set(PARSEC_WORKING_APPS) == {
+        "blackscholes", "bodytrack", "dedup", "ferret", "fluidanimate",
+        "freqmine", "raytrace", "streamcluster", "swaptions", "vips",
+    }
+
+    table = TextTable(
+        ["Component", "Options"],
+        title="Table II: Configuration Parameters for Use-Case 1",
+    )
+    table.add_row(["CPU", "TimingSimpleCPU"])
+    table.add_row(["Number of CPUs", "1, 2, 8"])
+    table.add_row(["Memory", "1 channel, DDR3_1600_8x8"])
+    table.add_row(
+        ["OS", f"Ubuntu 20.04 (kernel {focal.kernel_version}), "
+               f"Ubuntu 18.04 (kernel {bionic.kernel_version})"]
+    )
+    table.add_row(["Workloads", ", ".join(sorted(PARSEC_WORKING_APPS))])
+    table.add_row(["Input sizes", "simmedium"])
+    rendered = benchmark(table.render)
+    with capsys.disabled():
+        print("\n" + rendered)
+
+
+def test_bench_system_construction(benchmark):
+    def build_system():
+        config = SystemConfig(cpu_type="timing", num_cpus=8,
+                              memory_system="MESI_Two_Level")
+        return Gem5Simulator(Gem5Build(version="20.1.0.4"), config)
+
+    simulator = benchmark(build_system)
+    assert simulator.config.num_cpus == 8

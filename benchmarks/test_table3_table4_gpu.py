@@ -1,0 +1,74 @@
+"""Regenerates **Table III** (GPU configuration) and **Table IV** (GPU
+workloads and input sizes) for use-case 3."""
+
+from repro.common import TextTable
+from repro.gpu import GPU_WORKLOADS, GPUConfig, WORKLOADS_BY_SUITE
+
+
+def test_table3_values(capsys, benchmark):
+    config = GPUConfig()
+    expectations = {
+        "Number of CUs": (config.num_cus, 4),
+        "SIMD16s (vector ALUs)": (config.simds_per_cu, 4),
+        "GPU Frequency (GHz)": (config.gpu_clock_ghz, 1.0),
+        "Max Wavefronts per SIMD16": (config.max_wavefronts_per_simd, 10),
+        "Max Wavefronts per CU": (config.max_wavefronts_per_cu, 40),
+        "Vector Registers per CU": (config.vector_registers_per_cu, 8192),
+        "Scalar Registers per CU": (config.scalar_registers_per_cu, 8192),
+        "LDS per CU (KB)": (config.lds_bytes_per_cu // 1024, 64),
+        "L1I shared per 4 CUs (KB)": (config.l1i_bytes_per_4cu // 1024, 32),
+        "L1D per CU (KB)": (config.l1d_bytes_per_cu // 1024, 16),
+        "Unified L2 (KB)": (config.l2_bytes // 1024, 256),
+    }
+    table = TextTable(
+        ["Component", "Value"],
+        title="Table III: Key Configuration Parameters for Use-Case 3",
+    )
+    for component, (actual, expected) in expectations.items():
+        assert actual == expected, component
+        table.add_row([component, actual])
+    table.add_row(
+        ["Main Memory", f"{config.memory_channels} channel, "
+                        f"{config.memory_tech}"]
+    )
+    assert config.memory_tech == "DDR3_1600_8x8"
+    rendered = benchmark(table.render)
+    with capsys.disabled():
+        print("\n" + rendered)
+
+
+def test_table4_workloads(capsys, benchmark):
+    assert len(GPU_WORKLOADS) == 29
+    table = TextTable(
+        ["Application", "Suite", "Input Size"],
+        title="Table IV: Benchmarks & Input Sizes for Use-Case 3",
+    )
+    for suite in (
+        "hip-samples", "HeteroSync", "DNNMark",
+        "halo-finder", "lulesh", "pennant",
+    ):
+        for name in WORKLOADS_BY_SUITE[suite]:
+            workload = GPU_WORKLOADS[name]
+            table.add_row([name, workload.suite, workload.input_size])
+    assert len(table) == 29
+    rendered = benchmark(table.render)
+    with capsys.disabled():
+        print("\n" + rendered)
+
+
+def test_table4_paper_inputs_spotcheck():
+    assert GPU_WORKLOADS["2dshfl"].input_size == "4x4"
+    assert GPU_WORKLOADS["inline_asm"].input_size == "1024x1024"
+    assert GPU_WORKLOADS["fwd_bn"].input_size == "NCHW = 100, 1000, 1, 1"
+    assert GPU_WORKLOADS["bwd_pool"].input_size == (
+        "NCHW = 100, 3, 256, 256"
+    )
+    assert GPU_WORKLOADS["LULESH"].input_size == "1 iteration"
+    assert "forceTreeTest" in GPU_WORKLOADS["HACC"].input_size
+
+
+def test_bench_table4_registry_lookup(benchmark):
+    from repro.gpu import get_gpu_workload
+
+    workload = benchmark(get_gpu_workload, "MatrixTranspose")
+    assert workload.suite == "hip-samples"

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""A tour of GEM5 RESOURCES (the paper's Table I and Section V).
+
+Lists the catalog, builds a few representative resources (a benchmark
+disk image, the kernel set, the GPU environment), demonstrates the SPEC
+licensing rule, and prints the per-release status matrix that
+http://resources.gem5.org serves.
+
+Run with:  python examples/resources_tour.py
+"""
+
+from repro.common import TextTable
+from repro.common.errors import ValidationError
+from repro.resources import (
+    build_resource,
+    list_resources,
+    status_matrix,
+)
+
+
+def main() -> None:
+    # ----------------------------------------------------------- Table I
+    table = TextTable(
+        ["Name", "Type", "Redistributable", "Description"],
+        title="GEM5 RESOURCES (Table I)",
+    )
+    for resource in list_resources():
+        description = resource.description
+        if len(description) > 52:
+            description = description[:49] + "..."
+        table.add_row(
+            [
+                resource.name,
+                resource.rtype,
+                "yes" if resource.redistributable else "scripts only",
+                description,
+            ]
+        )
+    print(table.render())
+
+    # -------------------------------------------- build a few resources
+    parsec = build_resource("parsec", distro="ubuntu-18.04")
+    image = parsec.image
+    print(f"\nbuilt {image.name}: {image.file_count()} files, "
+          f"{len(image.metadata['benchmarks'])} benchmarks installed, "
+          f"hash {parsec.image_hash[:12]}")
+    print("packer build log tail:")
+    for line in parsec.log[-3:]:
+        print(f"  {line}")
+
+    kernels = build_resource("linux-kernel")
+    print(f"\nlinux-kernel resource: {len(kernels)} compiled kernels "
+          f"({', '.join(sorted(kernels))})")
+
+    environment = build_resource("GCN-docker")
+    print(f"\nGCN-docker environment (hash {environment.image_hash()[:12]}):")
+    for line in environment.dockerfile().splitlines():
+        print(f"  {line}")
+
+    # ------------------------------------------------- SPEC licensing
+    print("\nSPEC licensing rule:")
+    try:
+        build_resource("spec-2017")
+    except ValidationError as error:
+        print(f"  without media: {error}")
+    with_media = build_resource(
+        "spec-2017", iso_path="/licensed/spec2017.iso"
+    )
+    print(f"  with media:    built {with_media.image.name}")
+
+    # ---------------------------------------------------- status matrix
+    print("\nresource status by gem5 release:")
+    for version in ("20.1.0.4", "21.0"):
+        matrix = status_matrix(version)
+        supported = sum(1 for s in matrix.values() if s == "supported")
+        print(f"  gem5 {version}: {supported}/{len(matrix)} supported")
+        for name, status in sorted(matrix.items()):
+            if status != "supported":
+                print(f"    {name}: {status}")
+
+
+if __name__ == "__main__":
+    main()

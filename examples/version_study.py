@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Cross-version comparison study.
+
+The paper's introduction motivates gem5art with the need to "compare how
+new versions of these components impact performance".  This example runs
+the same PARSEC points on gem5 v20.1.0.4 and v21.0, registers both
+binaries as distinct artifacts (different source revisions → different
+hashes), and uses the validation module to quantify and diagnose the
+divergence.
+
+Run with:  python examples/version_study.py
+"""
+
+from repro.analysis import compare_stats, diagnose_configs
+from repro.resources import build_resource
+from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+from repro.art import ArtifactDB, register_gem5_binary, register_repo
+
+VERSIONS = ("20.1.0.4", "21.0")
+
+
+def main() -> None:
+    db = ArtifactDB()
+    image = build_resource("parsec", distro="ubuntu-18.04").image
+
+    builds = {}
+    for version in VERSIONS:
+        repo = register_repo(db, f"gem5-v{version}", version=f"v{version}")
+        build = Gem5Build(version=version)
+        artifact = register_gem5_binary(
+            db, build, name=f"gem5-{version}", inputs=[repo]
+        )
+        builds[version] = build
+        print(f"registered gem5 {version}: hash {artifact.hash[:12]}")
+
+    print()
+    for app in ("swaptions", "streamcluster", "ferret"):
+        results = {}
+        for version, build in builds.items():
+            simulator = Gem5Simulator(build, SystemConfig())
+            results[version] = simulator.run_fs(
+                "4.15.18", image, benchmark=app
+            )
+        old, new = results["20.1.0.4"], results["21.0"]
+        comparison = compare_stats(old.stats, new.stats)
+        delta = (new.sim_seconds / old.sim_seconds - 1) * 100
+        print(f"{app:<14} v20.1 {old.sim_seconds:.4f}s -> "
+              f"v21.0 {new.sim_seconds:.4f}s ({delta:+.1f}%), "
+              f"MAPE {comparison['mape']:.4f}")
+
+    # The diagnosis half: catch a configuration that silently drifted.
+    print("\nconfiguration diagnosis (intentional drift):")
+    reference = {"cpu_type": "timing", "num_cpus": 1, "l2": "1MB"}
+    candidate = {"cpu_type": "timing", "num_cpus": 2}
+    for finding in diagnose_configs(reference, candidate):
+        print(f"  - {finding}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables editable installs on hosts without the
+``wheel`` package (this offline environment); configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Result analysis — the Jupyter/Matplotlib stage of the paper's workflow.
+
+The paper's use cases end by querying MongoDB from a notebook and plotting
+with Matplotlib.  Offline we provide the same capability as composable
+pieces: :mod:`queries` pulls run summaries out of the database into flat
+records, :mod:`series` reshapes them (group-by, speedups, normalization),
+and :mod:`charts` renders ASCII bar charts and the Fig 8 status grid.
+"""
+
+from repro.analysis.queries import run_records, group_by, pivot
+from repro.analysis.series import (
+    Series,
+    speedup_series,
+    difference_series,
+    normalize_to,
+)
+from repro.analysis.charts import bar_chart, status_grid
+from repro.analysis.report import experiment_report
+from repro.analysis.validation import (
+    compare_stats,
+    diagnose_configs,
+    within_tolerance,
+)
+
+__all__ = [
+    "experiment_report",
+    "compare_stats",
+    "diagnose_configs",
+    "within_tolerance",
+    "run_records",
+    "group_by",
+    "pivot",
+    "Series",
+    "speedup_series",
+    "difference_series",
+    "normalize_to",
+    "bar_chart",
+    "status_grid",
+]

@@ -1,0 +1,121 @@
+"""Cross-run validation and diagnosis.
+
+The paper positions gem5art as "necessary infrastructure to bring [a]
+structured approach to gem5 validation experiments" (Section III, citing
+Walker et al.'s hardware-validation methodology and DiagSim's hidden-
+default diagnosis).  This module supplies the analysis half of that
+infrastructure:
+
+- :func:`compare_stats` — error metrics between two statistics dicts
+  (e.g. two simulator versions, or simulator vs hardware counters):
+  per-stat relative error, MAPE over the intersection, and the worst
+  offenders;
+- :func:`diagnose_configs` — a DiagSim-style structured diff of two run
+  parameter sets, flagging the "hidden details" (differing or one-sided
+  keys) that can silently change results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+from repro.common.errors import ValidationError
+
+
+def compare_stats(
+    reference: Dict[str, float],
+    candidate: Dict[str, float],
+    ignore_prefixes: Tuple[str, ...] = (),
+) -> Dict[str, Any]:
+    """Compare two statistics dictionaries.
+
+    Returns ``{"common": n, "only_reference": [...], "only_candidate":
+    [...], "errors": {stat: relative_error}, "mape": float,
+    "worst": [(stat, error), ...]}``.  Relative error is
+    ``(candidate - reference) / |reference|``; stats at zero in the
+    reference are compared absolutely and reported only when the
+    candidate differs.
+    """
+    reference = _filter(reference, ignore_prefixes)
+    candidate = _filter(candidate, ignore_prefixes)
+    common = sorted(set(reference) & set(candidate))
+    if not common:
+        raise ValidationError("the two stat sets share no statistics")
+    errors: Dict[str, float] = {}
+    for name in common:
+        ref = reference[name]
+        cand = candidate[name]
+        if ref == 0:
+            if cand != 0:
+                errors[name] = math.inf
+            continue
+        errors[name] = (cand - ref) / abs(ref)
+    finite = [abs(e) for e in errors.values() if math.isfinite(e)]
+    mape = sum(finite) / len(finite) if finite else 0.0
+    worst = sorted(
+        errors.items(), key=lambda item: abs(item[1]), reverse=True
+    )[:5]
+    return {
+        "common": len(common),
+        "only_reference": sorted(set(reference) - set(candidate)),
+        "only_candidate": sorted(set(candidate) - set(reference)),
+        "errors": errors,
+        "mape": mape,
+        "worst": worst,
+    }
+
+
+def _filter(stats: Dict[str, float], prefixes: Tuple[str, ...]):
+    if not prefixes:
+        return dict(stats)
+    return {
+        name: value
+        for name, value in stats.items()
+        if not any(name.startswith(prefix) for prefix in prefixes)
+    }
+
+
+def within_tolerance(
+    reference: Dict[str, float],
+    candidate: Dict[str, float],
+    tolerance: float,
+    **kwargs,
+) -> bool:
+    """True when every common statistic agrees within ``tolerance``
+    relative error."""
+    if tolerance < 0:
+        raise ValidationError("tolerance must be >= 0")
+    comparison = compare_stats(reference, candidate, **kwargs)
+    return all(
+        math.isfinite(error) and abs(error) <= tolerance
+        for error in comparison["errors"].values()
+    )
+
+
+def diagnose_configs(
+    reference: Dict[str, Any], candidate: Dict[str, Any]
+) -> List[str]:
+    """DiagSim-style diagnosis: human-readable findings about parameter
+    differences between two runs that claim to be comparable.
+
+    Returns an empty list when the configurations agree exactly.
+    """
+    findings: List[str] = []
+    for key in sorted(set(reference) | set(candidate)):
+        if key not in reference:
+            findings.append(
+                f"candidate sets {key!r}={candidate[key]!r} but the "
+                "reference leaves it at its hidden default"
+            )
+        elif key not in candidate:
+            findings.append(
+                f"reference sets {key!r}={reference[key]!r} but the "
+                "candidate leaves it at its hidden default"
+            )
+        elif reference[key] != candidate[key]:
+            findings.append(
+                f"{key!r} differs: reference={reference[key]!r} "
+                f"candidate={candidate[key]!r}"
+            )
+    return findings

@@ -1,0 +1,218 @@
+"""Launch scripts as objects — the paper's Fig 5, generalized.
+
+A gem5art launch script registers artifacts, then creates run objects for
+"each combination P in [cpus, benchmarks, ...]" and launches them
+asynchronously.  :class:`Experiment` captures that pattern declaratively:
+
+- one or more *stacks* (named artifact sets — e.g. one per Ubuntu release),
+- parameter *axes* to sweep,
+- a backend choice (pool / scheduler / inline),
+
+and it records the experiment itself as a document so the database tells
+the whole story: which artifacts, which cross product, which outcomes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.ids import new_uuid
+from repro.art.artifact import Artifact
+from repro.art.db import ArtifactDB
+from repro.art.run import Gem5Run
+from repro.art.tasks import run_job, run_jobs_pool, run_jobs_scheduler
+
+#: Artifact roles a full-system stack must provide.
+FS_STACK_ROLES = (
+    "gem5",
+    "gem5_git",
+    "run_script_git",
+    "linux_binary",
+    "disk_image",
+)
+
+EXPERIMENTS = "experiments"
+
+
+class Experiment:
+    """A declarative cross-product experiment over gem5art runs."""
+
+    def __init__(self, db: ArtifactDB, name: str):
+        if not name:
+            raise ValidationError("experiment needs a name")
+        self.db = db
+        self.name = name
+        self.experiment_id = new_uuid()
+        self._stacks: Dict[str, Dict[str, Artifact]] = {}
+        self._axes: Dict[str, List[Any]] = {}
+        self._fixed: Dict[str, Any] = {}
+        self._runs: Optional[List[Gem5Run]] = None
+        self._stack_of_run: Dict[str, str] = {}
+
+    # -------------------------------------------------------------- stacks
+
+    def add_stack(self, name: str, **artifacts: Artifact) -> None:
+        """Register a named artifact set (e.g. one per OS release)."""
+        missing = [
+            role for role in FS_STACK_ROLES if role not in artifacts
+        ]
+        if missing:
+            raise ValidationError(
+                f"stack {name!r} is missing artifact roles: {missing}"
+            )
+        unknown = set(artifacts) - set(FS_STACK_ROLES)
+        if unknown:
+            raise ValidationError(
+                f"stack {name!r} has unknown roles: {sorted(unknown)}"
+            )
+        if name in self._stacks:
+            raise ValidationError(f"stack {name!r} already added")
+        self._stacks[name] = dict(artifacts)
+
+    # ---------------------------------------------------------------- axes
+
+    def sweep(self, **axes: Sequence[Any]) -> None:
+        """Declare parameter axes; each keyword becomes one cross-product
+        dimension (e.g. ``num_cpus=[1, 2, 8]``)."""
+        for key, values in axes.items():
+            values = list(values)
+            if not values:
+                raise ValidationError(f"axis {key!r} is empty")
+            self._axes[key] = values
+
+    def fix(self, **params: Any) -> None:
+        """Set parameters common to every run."""
+        self._fixed.update(params)
+
+    # ---------------------------------------------------------------- runs
+
+    def size(self) -> int:
+        """Number of runs the current declaration implies."""
+        if not self._stacks:
+            return 0
+        total = len(self._stacks)
+        for values in self._axes.values():
+            total *= len(values)
+        return total
+
+    def create_runs(self) -> List[Gem5Run]:
+        """Materialize one run object per cross-product point."""
+        if not self._stacks:
+            raise StateError("add at least one stack before create_runs")
+        if self._runs is not None:
+            raise StateError("runs were already created")
+        axis_names = list(self._axes)
+        runs: List[Gem5Run] = []
+        for stack_name, artifacts in self._stacks.items():
+            for combo in itertools.product(
+                *(self._axes[name] for name in axis_names)
+            ):
+                params = dict(self._fixed)
+                params.update(dict(zip(axis_names, combo)))
+                run = Gem5Run.create_fs_run(
+                    self.db,
+                    gem5_artifact=artifacts["gem5"],
+                    gem5_git_artifact=artifacts["gem5_git"],
+                    run_script_git_artifact=artifacts["run_script_git"],
+                    linux_binary_artifact=artifacts["linux_binary"],
+                    disk_image_artifact=artifacts["disk_image"],
+                    **params,
+                )
+                runs.append(run)
+                self._stack_of_run[run.run_id] = stack_name
+        self._runs = runs
+        self._record()
+        return runs
+
+    def _record(self) -> None:
+        self.db.database.collection(EXPERIMENTS).insert_one(
+            {
+                "_id": self.experiment_id,
+                "name": self.name,
+                "stacks": {
+                    name: {
+                        role: artifact.id
+                        for role, artifact in artifacts.items()
+                    }
+                    for name, artifacts in self._stacks.items()
+                },
+                "axes": self._axes,
+                "fixed": self._fixed,
+                "run_ids": [run.run_id for run in self._runs],
+            }
+        )
+
+    # -------------------------------------------------------------- launch
+
+    def launch(
+        self,
+        backend: str = "pool",
+        workers: int = 4,
+        resume: bool = False,
+    ) -> List[Dict[str, Any]]:
+        """Execute every run via the chosen backend and return summaries.
+
+        Backends mirror the paper's three options: ``pool``
+        (multiprocessing-style), ``scheduler`` (Celery-style), ``inline``
+        (no job manager at all).
+
+        ``resume=True`` makes the launch idempotent: runs already marked
+        done in the database are skipped, so an interrupted experiment
+        can be re-launched and only the missing points execute.  The
+        returned summaries always cover *every* run, in creation order.
+        """
+        if self._runs is None:
+            self.create_runs()
+        pending = self._runs
+        if resume:
+            pending = [
+                run
+                for run in self._runs
+                if self.db.get_run(run.run_id)["status"] != "done"
+            ]
+        if backend == "pool":
+            run_jobs_pool(pending, processes=workers)
+        elif backend == "scheduler":
+            run_jobs_scheduler(pending, worker_count=workers)
+        elif backend == "inline":
+            for run in pending:
+                run_job(run)
+        else:
+            raise ValidationError(
+                f"unknown backend {backend!r}; "
+                "one of ('pool', 'scheduler', 'inline')"
+            )
+        return [
+            self.db.get_run(run.run_id).get("results")
+            for run in self._runs
+        ]
+
+    # -------------------------------------------------------------- report
+
+    def stack_of(self, run_id: str) -> str:
+        if run_id not in self._stack_of_run:
+            raise ValidationError(
+                f"run {run_id} does not belong to this experiment"
+            )
+        return self._stack_of_run[run_id]
+
+    def report(self) -> Dict[str, Any]:
+        """Outcome summary: totals and per-status counts per stack."""
+        if self._runs is None:
+            raise StateError("launch the experiment before reporting")
+        by_stack: Dict[str, Dict[str, int]] = {
+            name: {} for name in self._stacks
+        }
+        for run in self._runs:
+            doc = self.db.get_run(run.run_id)
+            results = doc.get("results") or {}
+            status = results.get("simulation_status", doc["status"])
+            stack = self._stack_of_run[run.run_id]
+            by_stack[stack][status] = by_stack[stack].get(status, 0) + 1
+        return {
+            "experiment": self.name,
+            "runs": len(self._runs),
+            "by_stack": by_stack,
+        }

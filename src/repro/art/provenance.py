@@ -1,0 +1,79 @@
+"""Provenance queries over the artifact database.
+
+The point of recording every input is being able to ask, later: *which
+runs used this disk image?* (e.g. after discovering the image carried a
+broken benchmark), *what was this binary built from?*, and *what else
+depends on this artifact?*.  These helpers answer those questions
+directly from the document store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import NotFoundError
+from repro.art.db import ArtifactDB
+
+
+def runs_using_artifact(
+    db: ArtifactDB, artifact_id: str
+) -> List[Dict]:
+    """Every run document that referenced the artifact (in any role)."""
+    db.get_artifact(artifact_id)  # raises for unknown artifacts
+    hits = []
+    for doc in db.runs.all_documents():
+        if artifact_id in doc.get("artifacts", {}).values():
+            hits.append(doc)
+    return hits
+
+
+def artifact_consumers(
+    db: ArtifactDB, artifact_id: str
+) -> List[Dict]:
+    """Artifacts that list this artifact among their inputs."""
+    db.get_artifact(artifact_id)
+    return db.artifacts.find({"inputs": artifact_id})
+
+
+def provenance_chain(db: ArtifactDB, artifact_id: str) -> List[Dict]:
+    """The artifact's transitive inputs, dependency-first.
+
+    This is "everything you need to rebuild it": for a disk image, its
+    source repositories; for a gem5 binary, the gem5 repo; and so on up
+    the Fig 1 graph.
+    """
+    seen = set()
+    ordered: List[Dict] = []
+
+    def visit(current_id: str) -> None:
+        if current_id in seen:
+            return
+        seen.add(current_id)
+        doc = db.get_artifact(current_id)
+        for input_id in doc.get("inputs", []):
+            visit(input_id)
+        ordered.append(doc)
+
+    visit(artifact_id)
+    return ordered
+
+
+def impact_of(db: ArtifactDB, artifact_id: str) -> Dict[str, int]:
+    """Blast-radius summary: how many artifacts and runs are downstream
+    of this one (directly or transitively)."""
+    affected_artifacts = set()
+    frontier = [artifact_id]
+    while frontier:
+        current = frontier.pop()
+        for consumer in artifact_consumers(db, current):
+            if consumer["_id"] not in affected_artifacts:
+                affected_artifacts.add(consumer["_id"])
+                frontier.append(consumer["_id"])
+    affected_runs = set()
+    for target in {artifact_id} | affected_artifacts:
+        for run in runs_using_artifact(db, target):
+            affected_runs.add(run["_id"])
+    return {
+        "artifacts": len(affected_artifacts),
+        "runs": len(affected_runs),
+    }

@@ -1,0 +1,295 @@
+"""Run objects — the paper's Fig 4.
+
+A "gem5art run" is a special artifact that stores all the information about
+one simulation (a single data point): references to the input artifacts
+(gem5 binary, its repository, the run script, the kernel, the disk image),
+the parameters handed to the run script, and — once executed — a pointer
+to the results plus a summary (status, execution time).
+
+This reproduction's run objects are *executable*: ``run()`` reconstructs
+the simulator and guest objects from the referenced artifacts' payloads and
+metadata, drives :class:`repro.sim.Gem5Simulator` (or the GPU device), and
+archives everything in the database.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ValidationError
+from repro.common.ids import new_uuid
+from repro.art.artifact import Artifact, load_disk_image
+from repro.art.db import ArtifactDB
+from repro.gpu.config import GPUConfig
+from repro.gpu.device import GPUDevice
+from repro.gpu.workloads import get_gpu_workload
+from repro.sim.buildinfo import Gem5Build
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import Gem5Simulator, SimulationStatus
+
+
+class RunStatus(str, enum.Enum):
+    """Lifecycle of a run document in the database."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+
+
+#: Simulation statuses that count as a *failed* run (vs a successful run
+#: of a simulation that itself reported a failure — for boot tests even a
+#: kernel panic is a valid, recorded outcome).
+_HARD_FAILURES = ()
+
+
+@dataclass
+class Gem5Run:
+    """One experiment data point, executable and archivable."""
+
+    run_id: str
+    kind: str  # "fs" or "gpu"
+    artifacts: Dict[str, str]
+    params: Dict[str, object]
+    timeout: float
+    db: ArtifactDB = field(repr=False)
+    status: RunStatus = RunStatus.CREATED
+    results: Optional[Dict[str, object]] = None
+
+    # -------------------------------------------------------- constructors
+
+    @classmethod
+    def create_fs_run(
+        cls,
+        db: ArtifactDB,
+        gem5_artifact: Artifact,
+        gem5_git_artifact: Artifact,
+        run_script_git_artifact: Artifact,
+        linux_binary_artifact: Artifact,
+        disk_image_artifact: Artifact,
+        cpu_type: str = "timing",
+        num_cpus: int = 1,
+        memory_system: str = "classic",
+        memory_tech: str = "DDR3_1600_8x8",
+        memory_channels: int = 1,
+        benchmark: Optional[str] = None,
+        input_size: Optional[str] = None,
+        boot_type: str = "systemd",
+        timeout: float = 60 * 15,
+    ) -> "Gem5Run":
+        """Create a full-system run object (the paper's ``createFSRun``).
+
+        All five artifacts of Fig 4 are required; the remaining keyword
+        parameters are what the run script would receive.
+        """
+        artifacts = {
+            "gem5": gem5_artifact.id,
+            "gem5_git": gem5_git_artifact.id,
+            "run_script_git": run_script_git_artifact.id,
+            "linux_binary": linux_binary_artifact.id,
+            "disk_image": disk_image_artifact.id,
+        }
+        params = {
+            "cpu_type": cpu_type,
+            "num_cpus": num_cpus,
+            "memory_system": memory_system,
+            "memory_tech": memory_tech,
+            "memory_channels": memory_channels,
+            "benchmark": benchmark,
+            "input_size": input_size,
+            "boot_type": boot_type,
+        }
+        return cls._create(db, "fs", artifacts, params, timeout)
+
+    #: camelCase alias matching the paper's Fig 4.
+    createFSRun = create_fs_run
+
+    @classmethod
+    def create_gpu_run(
+        cls,
+        db: ArtifactDB,
+        gem5_artifact: Artifact,
+        gem5_git_artifact: Artifact,
+        workload: str,
+        register_allocator: str = "simple",
+        gpu_config: Optional[GPUConfig] = None,
+        timeout: float = 60 * 15,
+    ) -> "Gem5Run":
+        """Create a GPU (GCN3_X86) run for use-case 3."""
+        build_meta = gem5_artifact.metadata
+        if build_meta.get("isa") != "GCN3_X86":
+            raise ValidationError(
+                "GPU runs need a gem5 binary built for GCN3_X86 "
+                f"(got {build_meta.get('isa')!r})"
+            )
+        artifacts = {
+            "gem5": gem5_artifact.id,
+            "gem5_git": gem5_git_artifact.id,
+        }
+        config = gpu_config or GPUConfig()
+        params = {
+            "workload": workload,
+            "register_allocator": register_allocator,
+            "gpu_config": {
+                "num_cus": config.num_cus,
+                "simds_per_cu": config.simds_per_cu,
+                "max_wavefronts_per_simd": config.max_wavefronts_per_simd,
+                "vector_registers_per_cu": config.vector_registers_per_cu,
+                "lds_bytes_per_cu": config.lds_bytes_per_cu,
+                "dependence_tracking_penalty": (
+                    config.dependence_tracking_penalty
+                ),
+            },
+        }
+        return cls._create(db, "gpu", artifacts, params, timeout)
+
+    createGPURun = create_gpu_run
+
+    @classmethod
+    def _create(cls, db, kind, artifacts, params, timeout) -> "Gem5Run":
+        run = cls(
+            run_id=new_uuid(),
+            kind=kind,
+            artifacts=artifacts,
+            params=params,
+            timeout=timeout,
+            db=db,
+        )
+        db.put_run(
+            {
+                "_id": run.run_id,
+                "kind": kind,
+                "artifacts": artifacts,
+                "params": params,
+                "timeout": timeout,
+                "status": RunStatus.CREATED.value,
+                "results": None,
+            }
+        )
+        return run
+
+    @classmethod
+    def load(cls, db: ArtifactDB, run_id: str) -> "Gem5Run":
+        doc = db.get_run(run_id)
+        return cls(
+            run_id=doc["_id"],
+            kind=doc["kind"],
+            artifacts=dict(doc["artifacts"]),
+            params=dict(doc["params"]),
+            timeout=doc["timeout"],
+            db=db,
+            status=RunStatus(doc["status"]),
+            results=doc.get("results"),
+        )
+
+    # ----------------------------------------------------------- execution
+
+    def run(self) -> Dict[str, object]:
+        """Execute the simulation and archive the outcome.
+
+        Returns the results summary also stored in the database.  The
+        gem5art timeout is enforced on host wall-clock time.
+        """
+        self._set_status(RunStatus.RUNNING)
+        started = time.monotonic()
+        try:
+            if self.kind == "fs":
+                summary = self._run_fs()
+            elif self.kind == "gpu":
+                summary = self._run_gpu()
+            else:
+                raise ValidationError(f"unknown run kind {self.kind!r}")
+        except Exception as error:
+            self.results = {"error": str(error)}
+            self._set_status(RunStatus.FAILED, self.results)
+            raise
+        elapsed = time.monotonic() - started
+        summary["host_seconds"] = elapsed
+        if elapsed > self.timeout:
+            summary["timed_out"] = True
+            self.results = summary
+            self._set_status(RunStatus.TIMED_OUT, summary)
+            return summary
+        self.results = summary
+        self._set_status(RunStatus.DONE, summary)
+        return summary
+
+    def _run_fs(self) -> Dict[str, object]:
+        gem5_artifact = Artifact.load(self.db, self.artifacts["gem5"])
+        kernel_artifact = Artifact.load(
+            self.db, self.artifacts["linux_binary"]
+        )
+        disk_artifact = Artifact.load(self.db, self.artifacts["disk_image"])
+        build = Gem5Build(
+            version=gem5_artifact.metadata.get("version", "20.1.0.4"),
+            isa=gem5_artifact.metadata.get("isa", "X86"),
+            variant=gem5_artifact.metadata.get("variant", "opt"),
+        )
+        config = SystemConfig(
+            cpu_type=self.params["cpu_type"],
+            num_cpus=self.params["num_cpus"],
+            memory_system=self.params["memory_system"],
+            memory_tech=self.params["memory_tech"],
+            memory_channels=self.params["memory_channels"],
+        )
+        simulator = Gem5Simulator(build, config)
+        image = load_disk_image(disk_artifact)
+        result = simulator.run_fs(
+            kernel=kernel_artifact.metadata["kernel_version"],
+            disk_image=image,
+            benchmark=self.params.get("benchmark"),
+            input_size=self.params.get("input_size"),
+            boot_type=self.params.get("boot_type", "systemd"),
+        )
+        stats_file_id = self.db.upload_file(
+            result.stats_txt().encode("utf-8"),
+            filename=f"stats-{self.run_id}.txt",
+        )
+        return {
+            "simulation_status": result.status.value,
+            "reason": result.reason,
+            "sim_seconds": result.sim_seconds,
+            "boot_seconds": result.boot_seconds,
+            "workload_seconds": result.workload_seconds,
+            "instructions": result.instructions,
+            "config": result.config_summary,
+            "workload": result.workload_name,
+            "stats_file_id": stats_file_id,
+            "success": result.status is SimulationStatus.OK,
+        }
+
+    def _run_gpu(self) -> Dict[str, object]:
+        workload = get_gpu_workload(self.params["workload"])
+        config_params = dict(self.params["gpu_config"])
+        config = GPUConfig(**config_params)
+        device = GPUDevice(config)
+        result = device.execute(
+            workload.kernel, self.params["register_allocator"]
+        )
+        stats_file_id = self.db.upload_file(
+            result.stats_txt().encode("utf-8"),
+            filename=f"stats-{self.run_id}.txt",
+        )
+        return {
+            "simulation_status": "ok",
+            "workload": workload.name,
+            "suite": workload.suite,
+            "register_allocator": result.allocator,
+            "shader_ticks": result.shader_ticks,
+            "occupancy_per_simd": result.occupancy_per_simd,
+            "stats_file_id": stats_file_id,
+            "success": True,
+        }
+
+    # ------------------------------------------------------------ storage
+
+    def _set_status(self, status: RunStatus, results=None) -> None:
+        self.status = status
+        update = {"$set": {"status": status.value}}
+        if results is not None:
+            update["$set"]["results"] = results
+        self.db.update_run(self.run_id, update)

@@ -1,0 +1,121 @@
+"""Task execution — the paper's Fig 5 launch-script tail.
+
+Run objects are handed to an external task manager: a Celery-like
+:class:`~repro.scheduler.SchedulerApp`, a multiprocessing-like
+:class:`~repro.scheduler.SimplePool`, or no scheduler at all (synchronous
+:func:`run_job`).  All three return the same summaries, so launch scripts
+can switch managers freely — exactly the flexibility Section IV-D claims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.art.run import Gem5Run
+from repro.scheduler import SchedulerApp, SimplePool, TaskState
+from repro.scheduler.batch import (
+    BatchSystem,
+    JobDescription,
+    JobState,
+    Machine,
+)
+
+
+def run_job(run: Gem5Run) -> Dict[str, object]:
+    """Execute one run synchronously (the no-scheduler option)."""
+    return run.run()
+
+
+def run_jobs_pool(
+    runs: Sequence[Gem5Run], processes: int = 4
+) -> List[Dict[str, object]]:
+    """Execute runs through the multiprocessing-style pool, preserving
+    input order in the returned summaries."""
+    with SimplePool(processes=processes) as pool:
+        handles = [pool.apply_async(run.run) for run in runs]
+        return [handle.get() for handle in handles]
+
+
+def run_jobs_scheduler(
+    runs: Sequence[Gem5Run],
+    worker_count: int = 4,
+    timeout_per_job: float = None,
+) -> List[Dict[str, object]]:
+    """Execute runs through the Celery-like scheduler app.
+
+    Each job's gem5art timeout is enforced by the scheduler; jobs that
+    exceed it are reported with a ``timed_out`` summary rather than
+    raising, since a timeout is a recorded outcome for the database.
+    """
+    app = SchedulerApp(name="gem5art", worker_count=worker_count)
+
+    @app.task(name="gem5art.run_gem5_job")
+    def run_gem5_job(index: int):
+        return runs[index].run()
+
+    try:
+        handles = [
+            run_gem5_job.apply_async(
+                args=(index,),
+                timeout=timeout_per_job or runs[index].timeout,
+            )
+            for index in range(len(runs))
+        ]
+        summaries: List[Dict[str, object]] = []
+        for index, handle in enumerate(handles):
+            state = app.backend.wait(handle.task_id)
+            if state is TaskState.SUCCESS:
+                summaries.append(handle.get())
+            else:
+                record = app.backend.record(handle.task_id)
+                summaries.append(
+                    {
+                        "success": False,
+                        "timed_out": state is TaskState.TIMEOUT,
+                        "scheduler_state": state.value,
+                        "error": record["error"],
+                        "run_id": runs[index].run_id,
+                    }
+                )
+        return summaries
+    finally:
+        app.shutdown()
+
+
+def run_jobs_batch(
+    runs: Sequence[Gem5Run],
+    machines: Sequence[Machine] = None,
+    requirements: Dict[str, object] = None,
+) -> List[Dict[str, object]]:
+    """Execute runs through the Condor-style batch system.
+
+    ``machines`` defaults to a single 4-slot local node.  All jobs share
+    ``requirements`` (e.g. ``{"memory_mb": 16384}``); jobs no machine can
+    satisfy come back as held, not errors.
+    """
+    pool = BatchSystem()
+    for machine in machines or (Machine("localhost", slots=4),):
+        pool.add_machine(machine)
+    jobs = [
+        pool.submit(
+            JobDescription(
+                executable=run.run, requirements=dict(requirements or {})
+            )
+        )
+        for run in runs
+    ]
+    summaries: List[Dict[str, object]] = []
+    for run, job in zip(runs, jobs):
+        state = job.wait(timeout=max(60.0, run.timeout))
+        if state is JobState.COMPLETED:
+            summaries.append(job.result)
+        else:
+            summaries.append(
+                {
+                    "success": False,
+                    "batch_state": state.value,
+                    "error": job.error,
+                    "run_id": run.run_id,
+                }
+            )
+    return summaries

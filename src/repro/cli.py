@@ -1,0 +1,285 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the catalog and the paper's
+experiments without writing a launch script:
+
+- ``resources``                 — list Table I (with per-release status);
+- ``selftest [--isa ISA]``      — run the gem5-tests resource;
+- ``boot-tests [--quick]``      — regenerate the Fig 8 grid;
+- ``parsec [--apps ...]``       — regenerate Figs 6/7 (optionally reduced);
+- ``gpu``                       — regenerate Fig 9.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common import TextTable
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Enabling Reproducible and Agile "
+            "Full-System Simulation' (ISPASS 2021)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    resources = commands.add_parser(
+        "resources", help="list the gem5-resources catalog (Table I)"
+    )
+    resources.add_argument("--gem5-version", default="20.1.0.4")
+
+    selftest = commands.add_parser(
+        "selftest", help="run the gem5-tests resource against a build"
+    )
+    selftest.add_argument("--isa", default="X86")
+    selftest.add_argument("--version", default="20.1.0.4")
+
+    boot = commands.add_parser(
+        "boot-tests", help="run the Fig 8 boot-test cross product"
+    )
+    boot.add_argument(
+        "--quick",
+        action="store_true",
+        help="one kernel and boot type only (48 runs instead of 480)",
+    )
+
+    parsec = commands.add_parser(
+        "parsec", help="run the Fig 6/7 PARSEC OS study"
+    )
+    parsec.add_argument(
+        "--apps", nargs="+", default=None,
+        help="subset of PARSEC applications (default: all 10 working)",
+    )
+
+    commands.add_parser("gpu", help="run the Fig 9 register-allocator study")
+
+    rate = commands.add_parser(
+        "rate", help="SPECrate-style throughput scaling study"
+    )
+    rate.add_argument("--suite", default="spec-2017",
+                      choices=("spec-2006", "spec-2017"))
+    rate.add_argument("--benchmarks", nargs="+", default=None)
+
+    report = commands.add_parser(
+        "report", help="render the reproducibility report of an archive"
+    )
+    report.add_argument("archive", help="path to an exported archive")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "resources": _cmd_resources,
+        "selftest": _cmd_selftest,
+        "boot-tests": _cmd_boot_tests,
+        "parsec": _cmd_parsec,
+        "gpu": _cmd_gpu,
+        "rate": _cmd_rate,
+        "report": _cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_resources(args) -> int:
+    from repro.resources import list_resources, status_matrix
+
+    matrix = status_matrix(args.gem5_version)
+    table = TextTable(
+        ["Name", "Type", f"Status (gem5 {args.gem5_version})"],
+        title="GEM5 RESOURCES",
+    )
+    for resource in list_resources():
+        table.add_row([resource.name, resource.rtype, matrix[resource.name]])
+    print(table.render())
+    return 0
+
+
+def _cmd_selftest(args) -> int:
+    from repro.sim import Gem5Build
+    from repro.sim.testing import run_test_suite
+
+    build = Gem5Build(version=args.version, isa=args.isa)
+    outcomes = run_test_suite(build)
+    table = TextTable(
+        ["Test", "Status", "Detail"],
+        title=f"gem5 tests on {build.binary_name}",
+    )
+    failed = 0
+    for outcome in outcomes:
+        table.add_row([outcome.test_name, outcome.status, outcome.detail])
+        if outcome.status == "fail":
+            failed += 1
+    print(table.render())
+    return 1 if failed else 0
+
+
+def _cmd_boot_tests(args) -> int:
+    import collections
+    import itertools
+
+    from repro.analysis import status_grid
+    from repro.guest import BOOT_TEST_KERNEL_VERSIONS
+    from repro.resources import build_resource
+    from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+
+    kernels = (
+        BOOT_TEST_KERNEL_VERSIONS[:1]
+        if args.quick
+        else BOOT_TEST_KERNEL_VERSIONS
+    )
+    boot_types = ("init",) if args.quick else ("init", "systemd")
+    image = build_resource("boot-exit").image
+    counts = collections.Counter()
+    cells = {}
+    columns = []
+    for boot, kernel, cpu, mem, cores in itertools.product(
+        boot_types,
+        kernels,
+        ("kvm", "atomic", "timing", "o3"),
+        ("classic", "MI_example", "MESI_Two_Level"),
+        (1, 2, 4, 8),
+    ):
+        config = SystemConfig(
+            cpu_type=cpu, num_cpus=cores, memory_system=mem
+        )
+        result = Gem5Simulator(Gem5Build(), config).run_fs(
+            kernel, image, boot_type=boot
+        )
+        counts[result.status.value] += 1
+        column = f"{cpu[:2]}.{mem[:2]}{cores}"
+        if column not in columns:
+            columns.append(column)
+        cells[(f"{kernel}/{boot}", column)] = result.status.value
+    rows = sorted({row for row, _ in cells})
+    print(status_grid(cells, rows, columns, title="Fig 8 boot tests"))
+    print()
+    for status, count in sorted(counts.items()):
+        print(f"{status:<14} {count}")
+    return 0
+
+
+def _cmd_parsec(args) -> int:
+    from repro.analysis import Series, bar_chart, difference_series
+    from repro.guest import get_distro
+    from repro.resources import build_resource
+    from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+    from repro.sim.workload import PARSEC_WORKING_APPS
+
+    apps = tuple(args.apps) if args.apps else PARSEC_WORKING_APPS
+    unknown = set(apps) - set(PARSEC_WORKING_APPS)
+    if unknown:
+        print(f"unknown/broken PARSEC apps: {sorted(unknown)}")
+        return 2
+    times = {}
+    for os_key in ("ubuntu-18.04", "ubuntu-20.04"):
+        image = build_resource("parsec", distro=os_key).image
+        kernel = get_distro(os_key).kernel_version
+        for app in apps:
+            for cpus in (1, 8):
+                config = SystemConfig(
+                    cpu_type="timing",
+                    num_cpus=cpus,
+                    memory_system="MESI_Two_Level",
+                )
+                result = Gem5Simulator(Gem5Build(), config).run_fs(
+                    kernel, image, benchmark=app
+                )
+                times[(os_key, app, cpus)] = result.workload_seconds
+    bionic = Series(
+        "18.04", {a: times[("ubuntu-18.04", a, 1)] for a in apps}
+    )
+    focal = Series(
+        "20.04", {a: times[("ubuntu-20.04", a, 1)] for a in apps}
+    )
+    print(bar_chart(
+        [difference_series("18.04-20.04 (1 core)", bionic, focal)],
+        title="Fig 6 (1 core)", unit="s",
+    ))
+    print()
+    for os_key, series in (("18.04", bionic), ("20.04", focal)):
+        speedups = Series(
+            os_key,
+            {
+                a: times[(f"ubuntu-{os_key}", a, 1)]
+                / times[(f"ubuntu-{os_key}", a, 8)]
+                for a in apps
+            },
+        )
+        print(f"Fig 7 mean speedup {os_key}: {speedups.mean():.2f}x")
+    return 0
+
+
+def _cmd_gpu(args) -> int:
+    from repro.analysis import Series, bar_chart
+    from repro.gpu import GPU_WORKLOADS, GPUDevice
+
+    device = GPUDevice()
+    speedups = {}
+    for name, workload in GPU_WORKLOADS.items():
+        simple = device.execute(workload.kernel, "simple").shader_ticks
+        dynamic = device.execute(workload.kernel, "dynamic").shader_ticks
+        speedups[name] = simple / dynamic
+    series = Series("dynamic-vs-simple", dict(sorted(speedups.items())))
+    print(bar_chart([series], title="Fig 9", unit="x"))
+    mean_rel = sum(1.0 / v for v in speedups.values()) / len(speedups)
+    print(f"\nmean relative time (dynamic/simple): {mean_rel:.3f}")
+    return 0
+
+
+def _cmd_rate(args) -> int:
+    from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+    from repro.sim.workload import get_workload, suite_apps
+
+    benchmarks = args.benchmarks or list(suite_apps(args.suite))[:6]
+    unknown = set(benchmarks) - set(suite_apps(args.suite))
+    if unknown:
+        print(f"unknown {args.suite} benchmarks: {sorted(unknown)}")
+        return 2
+    table = TextTable(
+        ["Benchmark", "rate@1", "rate@8", "Scaling"],
+        title=f"SPECrate scaling ({args.suite}, O3, DDR3 x1)",
+    )
+    for name in benchmarks:
+        workload = get_workload(args.suite, name, "test")
+        rates = {}
+        for copies in (1, 8):
+            simulator = Gem5Simulator(
+                Gem5Build(),
+                SystemConfig(
+                    cpu_type="o3",
+                    num_cpus=8,
+                    memory_system="MESI_Two_Level",
+                ),
+            )
+            result = simulator.run_se_rate(workload, copies=copies)
+            rates[copies] = result.stats["rate"]
+        table.add_row(
+            [name, f"{rates[1]:.1f}", f"{rates[8]:.1f}",
+             f"{rates[8] / rates[1]:.2f}x"]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis import experiment_report
+    from repro.art import ArtifactDB, import_archive, verify_archive
+    from repro.common.errors import ReproError
+
+    try:
+        verify_archive(args.archive)
+        db = ArtifactDB()
+        import_archive(args.archive, db)
+        print(experiment_report(db))
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Shared utilities used by every subsystem of the reproduction.
+
+This package deliberately has no dependencies on the rest of :mod:`repro` so
+that any subsystem (database, scheduler, simulator, ...) can import it without
+creating cycles.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ValidationError,
+    NotFoundError,
+    DuplicateError,
+    StateError,
+)
+from repro.common.hashing import (
+    md5_bytes,
+    md5_text,
+    md5_file,
+    md5_tree,
+    sha256_bytes,
+    short_hash,
+)
+from repro.common.ids import new_uuid, deterministic_uuid
+from repro.common.jsonutil import canonical_dumps, dumps, loads
+from repro.common.rng import RngStream, derive_seed
+from repro.common.tables import TextTable
+from repro.common.units import (
+    GHz,
+    MHz,
+    ns_to_ticks,
+    ticks_to_seconds,
+    TICKS_PER_SECOND,
+)
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "NotFoundError",
+    "DuplicateError",
+    "StateError",
+    "md5_bytes",
+    "md5_text",
+    "md5_file",
+    "md5_tree",
+    "sha256_bytes",
+    "short_hash",
+    "new_uuid",
+    "deterministic_uuid",
+    "canonical_dumps",
+    "dumps",
+    "loads",
+    "RngStream",
+    "derive_seed",
+    "TextTable",
+    "GHz",
+    "MHz",
+    "ns_to_ticks",
+    "ticks_to_seconds",
+    "TICKS_PER_SECOND",
+]

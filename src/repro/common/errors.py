@@ -1,0 +1,26 @@
+"""Exception hierarchy shared across the library.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can catch
+library failures without also swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError):
+    """An input value failed validation (bad type, bad range, bad schema)."""
+
+
+class NotFoundError(ReproError):
+    """A requested object (document, file, resource, artifact) is missing."""
+
+
+class DuplicateError(ReproError):
+    """An object violating a uniqueness constraint was inserted."""
+
+
+class StateError(ReproError):
+    """An operation was attempted in an invalid state (e.g. reusing a closed
+    database handle, completing a task twice)."""

@@ -1,0 +1,69 @@
+"""JSON encoding helpers with a canonical form.
+
+The database persists documents as JSON lines, and artifact hashes must be
+stable across runs, so we need a *canonical* serialization: sorted keys, no
+insignificant whitespace, and explicit handling of the handful of non-JSON
+types the library uses (datetimes, tuples, sets, bytes).
+"""
+
+from __future__ import annotations
+
+import base64
+import datetime
+import json
+from typing import Any
+
+_BYTES_TAG = "$bytes"
+_DATETIME_TAG = "$datetime"
+_SET_TAG = "$set"
+
+
+def _encode_special(value: Any) -> Any:
+    if isinstance(value, datetime.datetime):
+        return {_DATETIME_TAG: value.isoformat()}
+    if isinstance(value, bytes):
+        return {_BYTES_TAG: base64.b64encode(value).decode("ascii")}
+    if isinstance(value, (set, frozenset)):
+        return {_SET_TAG: sorted(_encode_special(v) for v in value)}
+    if isinstance(value, tuple):
+        return [_encode_special(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode_special(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_encode_special(v) for v in value]
+    return value
+
+
+def _decode_special(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value.keys()) == {_DATETIME_TAG}:
+            return datetime.datetime.fromisoformat(value[_DATETIME_TAG])
+        if set(value.keys()) == {_BYTES_TAG}:
+            return base64.b64decode(value[_BYTES_TAG])
+        if set(value.keys()) == {_SET_TAG}:
+            return set(_decode_special(v) for v in value[_SET_TAG])
+        return {k: _decode_special(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_special(v) for v in value]
+    return value
+
+
+def dumps(value: Any, indent: int = None) -> str:
+    """Serialize a value to JSON, supporting datetimes, bytes and sets."""
+    return json.dumps(_encode_special(value), indent=indent)
+
+
+def canonical_dumps(value: Any) -> str:
+    """Serialize to a canonical JSON form suitable for hashing.
+
+    Keys are sorted and separators are minimal so equal values always
+    serialize to equal strings.
+    """
+    return json.dumps(
+        _encode_special(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def loads(text: str) -> Any:
+    """Deserialize JSON produced by :func:`dumps` / :func:`canonical_dumps`."""
+    return _decode_special(json.loads(text))

@@ -1,0 +1,37 @@
+"""URI-based database entry point.
+
+gem5art connects to its database with a URI such as
+``mongodb://localhost:27017``.  We keep the ergonomics while supporting the
+backends available offline:
+
+- ``memory://`` — an ephemeral in-memory database,
+- ``file:///some/dir`` — a database persisted as JSON-lines + blob files.
+"""
+
+from __future__ import annotations
+
+from urllib.parse import urlparse
+
+from repro.common.errors import ValidationError
+from repro.db.database import Database
+
+
+def connect(uri: str = "memory://", name: str = "artifact_database") -> Database:
+    """Open a database identified by URI.
+
+    >>> db = connect("memory://")
+    >>> db.collection("artifacts").insert_one({"name": "gem5"})  # doctest: +ELLIPSIS
+    '...'
+    """
+    parsed = urlparse(uri)
+    if parsed.scheme == "memory":
+        return Database(name=name, root=None)
+    if parsed.scheme == "file":
+        path = parsed.path
+        if not path:
+            raise ValidationError(f"file:// URI needs a path: {uri!r}")
+        return Database(name=name, root=path)
+    raise ValidationError(
+        f"unsupported database URI scheme {parsed.scheme!r}; "
+        "use memory:// or file:///path"
+    )

@@ -1,0 +1,292 @@
+"""A collection of documents with Mongo-like operations.
+
+Supports the operations the artifact layer relies on: insert with duplicate
+protection via unique indexes, querying with the operator language from
+:mod:`repro.db.query`, field updates, and deletion.  Documents are plain
+dicts; a copy is stored and copies are returned so callers can never mutate
+the database behind its back.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.common.errors import DuplicateError, ValidationError
+from repro.common.ids import new_uuid
+from repro.db.query import (
+    MISSING as _MISSING,
+    get_path,
+    matches,
+    project,
+    sort_documents,
+)
+
+
+class Collection:
+    """An ordered set of documents with unique-index enforcement."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._documents: Dict[str, Dict[str, Any]] = {}
+        self._unique_indexes: List[str] = []
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------- indexes
+
+    def create_unique_index(self, field: str) -> None:
+        """Enforce that no two documents share a value for ``field``.
+
+        Documents missing the field are exempt (sparse-index semantics),
+        which is what lets non-repository artifacts omit git info.
+        """
+        with self._lock:
+            seen: Dict[Any, str] = {}
+            for doc_id, doc in self._documents.items():
+                value = get_path(doc, field)
+                if value is _MISSING or _unset(value):
+                    continue
+                key = _index_key(value)
+                if key in seen:
+                    raise DuplicateError(
+                        f"existing documents violate unique index on "
+                        f"{field!r}"
+                    )
+                seen[key] = doc_id
+            if field not in self._unique_indexes:
+                self._unique_indexes.append(field)
+
+    def _check_unique(self, document: Dict[str, Any], ignore_id=None) -> None:
+        for field in self._unique_indexes:
+            value = get_path(document, field)
+            if value is _MISSING or _unset(value):
+                continue
+            for doc_id, existing in self._documents.items():
+                if doc_id == ignore_id:
+                    continue
+                other = get_path(existing, field)
+                if other is not _MISSING and _index_key(
+                    other
+                ) == _index_key(value):
+                    raise DuplicateError(
+                        f"duplicate value for unique field {field!r}: "
+                        f"{value!r}"
+                    )
+
+    # -------------------------------------------------------------- insert
+
+    def insert_one(self, document: Dict[str, Any]) -> str:
+        """Insert a document, assigning ``_id`` if absent; returns the id."""
+        if not isinstance(document, dict):
+            raise ValidationError("documents must be dicts")
+        with self._lock:
+            doc = copy.deepcopy(document)
+            doc_id = doc.setdefault("_id", new_uuid())
+            if doc_id in self._documents:
+                raise DuplicateError(f"duplicate _id: {doc_id}")
+            self._check_unique(doc)
+            self._documents[doc_id] = doc
+            return doc_id
+
+    def insert_many(self, documents: Sequence[Dict[str, Any]]) -> List[str]:
+        return [self.insert_one(doc) for doc in documents]
+
+    # --------------------------------------------------------------- query
+
+    def find(
+        self,
+        query: Optional[Dict[str, Any]] = None,
+        sort: Optional[List[tuple]] = None,
+        limit: Optional[int] = None,
+        fields: Optional[Sequence[str]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Return copies of all matching documents."""
+        query = query or {}
+        with self._lock:
+            found = [
+                copy.deepcopy(doc)
+                for doc in self._documents.values()
+                if matches(doc, query)
+            ]
+        if sort:
+            found = sort_documents(found, sort)
+        if limit is not None:
+            found = found[:limit]
+        if fields is not None:
+            found = [project(doc, fields) for doc in found]
+        return found
+
+    def find_one(
+        self, query: Optional[Dict[str, Any]] = None, **kwargs
+    ) -> Optional[Dict[str, Any]]:
+        results = self.find(query, limit=1, **kwargs)
+        return results[0] if results else None
+
+    def count(self, query: Optional[Dict[str, Any]] = None) -> int:
+        query = query or {}
+        with self._lock:
+            return sum(
+                1 for doc in self._documents.values() if matches(doc, query)
+            )
+
+    def distinct(self, field: str, query=None) -> List[Any]:
+        """Return the sorted distinct values of ``field`` over matches."""
+        values = []
+        for doc in self.find(query):
+            value = get_path(doc, field)
+            if value is not _MISSING and value not in values:
+                values.append(value)
+        try:
+            return sorted(values)
+        except TypeError:
+            return values
+
+    # -------------------------------------------------------------- update
+
+    def update_one(
+        self, query: Dict[str, Any], update: Dict[str, Any]
+    ) -> bool:
+        """Apply ``$set``/``$inc``/``$push``/``$unset`` to the first match.
+
+        Returns True when a document was updated.
+        """
+        with self._lock:
+            for doc in self._documents.values():
+                if matches(doc, query):
+                    candidate = copy.deepcopy(doc)
+                    _apply_update(candidate, update)
+                    self._check_unique(candidate, ignore_id=doc["_id"])
+                    doc.clear()
+                    doc.update(candidate)
+                    return True
+            return False
+
+    def update_many(
+        self, query: Dict[str, Any], update: Dict[str, Any]
+    ) -> int:
+        with self._lock:
+            count = 0
+            for doc in self._documents.values():
+                if matches(doc, query):
+                    candidate = copy.deepcopy(doc)
+                    _apply_update(candidate, update)
+                    self._check_unique(candidate, ignore_id=doc["_id"])
+                    doc.clear()
+                    doc.update(candidate)
+                    count += 1
+            return count
+
+    def replace_one(
+        self, query: Dict[str, Any], document: Dict[str, Any]
+    ) -> bool:
+        with self._lock:
+            for doc_id, doc in self._documents.items():
+                if matches(doc, query):
+                    replacement = copy.deepcopy(document)
+                    replacement["_id"] = doc_id
+                    self._check_unique(replacement, ignore_id=doc_id)
+                    self._documents[doc_id] = replacement
+                    return True
+            return False
+
+    # -------------------------------------------------------------- delete
+
+    def delete_one(self, query: Dict[str, Any]) -> bool:
+        with self._lock:
+            for doc_id, doc in self._documents.items():
+                if matches(doc, query):
+                    del self._documents[doc_id]
+                    return True
+            return False
+
+    def delete_many(self, query: Dict[str, Any]) -> int:
+        with self._lock:
+            doomed = [
+                doc_id
+                for doc_id, doc in self._documents.items()
+                if matches(doc, query)
+            ]
+            for doc_id in doomed:
+                del self._documents[doc_id]
+            return len(doomed)
+
+    # ---------------------------------------------------------------- misc
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        with self._lock:
+            snapshot = [copy.deepcopy(d) for d in self._documents.values()]
+        return iter(snapshot)
+
+    def all_documents(self) -> List[Dict[str, Any]]:
+        """Snapshot of every document (copies), in insertion order."""
+        return list(iter(self))
+
+
+def _apply_update(document: Dict[str, Any], update: Dict[str, Any]) -> None:
+    if not update or not all(key.startswith("$") for key in update):
+        raise ValidationError(
+            "updates must use operators such as $set / $inc / $push"
+        )
+    for op, changes in update.items():
+        if op == "$set":
+            for path, value in changes.items():
+                _set_path(document, path, copy.deepcopy(value))
+        elif op == "$inc":
+            for path, amount in changes.items():
+                current = get_path(document, path)
+                base = 0 if current is _MISSING else current
+                _set_path(document, path, base + amount)
+        elif op == "$push":
+            for path, value in changes.items():
+                current = get_path(document, path)
+                if current is _MISSING:
+                    current = []
+                if not isinstance(current, list):
+                    raise ValidationError(f"$push target {path!r} not a list")
+                current = list(current)
+                current.append(copy.deepcopy(value))
+                _set_path(document, path, current)
+        elif op == "$unset":
+            for path in changes:
+                _unset_path(document, path)
+        else:
+            raise ValidationError(f"unknown update operator: {op}")
+
+
+def _set_path(document: Dict[str, Any], path: str, value: Any) -> None:
+    parts = path.split(".")
+    target = document
+    for part in parts[:-1]:
+        nxt = target.get(part)
+        if not isinstance(nxt, dict):
+            nxt = {}
+            target[part] = nxt
+        target = nxt
+    target[parts[-1]] = value
+
+
+def _unset_path(document: Dict[str, Any], path: str) -> None:
+    parts = path.split(".")
+    target = document
+    for part in parts[:-1]:
+        target = target.get(part)
+        if not isinstance(target, dict):
+            return
+    target.pop(parts[-1], None)
+
+
+def _unset(value: Any) -> bool:
+    """Treat None and empty dicts as absent for sparse unique indexes."""
+    return value is None or value == {}
+
+
+def _index_key(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _index_key(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return tuple(_index_key(v) for v in value)
+    return value

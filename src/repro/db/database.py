@@ -1,0 +1,116 @@
+"""A named set of collections with JSON-lines persistence.
+
+Mirrors the role MongoDB plays for gem5art: a durable home for artifact and
+run documents.  A database can live purely in memory (tests) or be bound to a
+directory, where each collection persists as ``<name>.jsonl`` and blobs live
+under ``files/`` via the :class:`~repro.db.filestore.FileStore`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional
+
+from repro.common.errors import ValidationError
+from repro.common.jsonutil import canonical_dumps, loads
+from repro.db.collection import Collection
+from repro.db.filestore import FileStore
+
+_COLLECTION_SUFFIX = ".jsonl"
+
+
+class Database:
+    """A collection container, optionally bound to an on-disk directory."""
+
+    def __init__(self, name: str = "repro", root: Optional[str] = None):
+        if not name:
+            raise ValidationError("database name must be non-empty")
+        self.name = name
+        self.root = root
+        self._collections: Dict[str, Collection] = {}
+        self._lock = threading.RLock()
+        self._files: Optional[FileStore] = None
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+            self._files = FileStore(os.path.join(root, "files"))
+            self._load_all()
+
+    # ---------------------------------------------------------- collections
+
+    def collection(self, name: str) -> Collection:
+        """Return (creating on first use) the named collection."""
+        with self._lock:
+            if name not in self._collections:
+                self._collections[name] = Collection(name)
+            return self._collections[name]
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def collection_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> None:
+        with self._lock:
+            self._collections.pop(name, None)
+            if self.root is not None:
+                path = self._collection_path(name)
+                if os.path.exists(path):
+                    os.remove(path)
+
+    # ---------------------------------------------------------------- files
+
+    @property
+    def files(self) -> FileStore:
+        """The blob store (GridFS stand-in); memory databases get a
+        temporary in-memory store."""
+        if self._files is None:
+            self._files = FileStore(None)
+        return self._files
+
+    # ---------------------------------------------------------- persistence
+
+    def _collection_path(self, name: str) -> str:
+        return os.path.join(self.root, name + _COLLECTION_SUFFIX)
+
+    def save(self) -> None:
+        """Flush every collection to its JSON-lines file.
+
+        A no-op for purely in-memory databases.
+        """
+        if self.root is None:
+            return
+        with self._lock:
+            for name, coll in self._collections.items():
+                path = self._collection_path(name)
+                tmp = path + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    for doc in coll.all_documents():
+                        handle.write(canonical_dumps(doc))
+                        handle.write("\n")
+                os.replace(tmp, path)
+
+    def _load_all(self) -> None:
+        for entry in sorted(os.listdir(self.root)):
+            if not entry.endswith(_COLLECTION_SUFFIX):
+                continue
+            name = entry[: -len(_COLLECTION_SUFFIX)]
+            coll = self.collection(name)
+            with open(
+                os.path.join(self.root, entry), "r", encoding="utf-8"
+            ) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        coll.insert_one(loads(line))
+
+    # ---------------------------------------------------------------- stats
+
+    def describe(self) -> Dict[str, int]:
+        """Return a {collection: document count} summary."""
+        with self._lock:
+            return {
+                name: len(coll) for name, coll in self._collections.items()
+            }

@@ -1,0 +1,112 @@
+"""A content-addressed blob store — the GridFS substitute.
+
+gem5art uploads every artifact file (disk images, kernels, binaries) into
+GridFS keyed by its hash so identical files are stored once.  This store
+provides the same contract: ``put`` bytes or a host file and receive a
+content id (SHA-256); ``get`` the bytes back; idempotent re-puts.
+
+Blobs live either in memory (``root=None``) or as files named by their
+digest under a directory, which doubles as a human-inspectable archive.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional
+
+from repro.common.errors import NotFoundError
+from repro.common.hashing import sha256_bytes
+
+
+class FileStore:
+    """Content-addressed storage for artifact payloads."""
+
+    def __init__(self, root: Optional[str]):
+        self.root = root
+        self._memory: Dict[str, bytes] = {}
+        self._metadata: Dict[str, Dict] = {}
+        self._lock = threading.RLock()
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+
+    # ----------------------------------------------------------------- put
+
+    def put_bytes(self, data: bytes, filename: str = None) -> str:
+        """Store a byte string; returns its content id.  Idempotent."""
+        digest = sha256_bytes(data)
+        with self._lock:
+            if not self.exists(digest):
+                if self.root is None:
+                    self._memory[digest] = data
+                else:
+                    path = self._blob_path(digest)
+                    tmp = path + ".tmp"
+                    with open(tmp, "wb") as handle:
+                        handle.write(data)
+                    os.replace(tmp, path)
+            meta = self._metadata.setdefault(
+                digest, {"length": len(data), "filenames": []}
+            )
+            if filename and filename not in meta["filenames"]:
+                meta["filenames"].append(filename)
+        return digest
+
+    def put_file(self, path: str) -> str:
+        """Store a host file's content; returns its content id."""
+        with open(path, "rb") as handle:
+            data = handle.read()
+        return self.put_bytes(data, filename=os.path.basename(path))
+
+    # ----------------------------------------------------------------- get
+
+    def get_bytes(self, digest: str) -> bytes:
+        with self._lock:
+            if self.root is None:
+                if digest not in self._memory:
+                    raise NotFoundError(f"no blob with id {digest}")
+                return self._memory[digest]
+            path = self._blob_path(digest)
+            if not os.path.isfile(path):
+                raise NotFoundError(f"no blob with id {digest}")
+            with open(path, "rb") as handle:
+                return handle.read()
+
+    def download_to(self, digest: str, destination: str) -> None:
+        """Copy a blob out to a host path (gem5art's downloadFile)."""
+        data = self.get_bytes(digest)
+        os.makedirs(os.path.dirname(destination) or ".", exist_ok=True)
+        with open(destination, "wb") as handle:
+            handle.write(data)
+
+    # ---------------------------------------------------------------- query
+
+    def exists(self, digest: str) -> bool:
+        if self.root is None:
+            return digest in self._memory
+        return os.path.isfile(self._blob_path(digest))
+
+    def list_ids(self) -> List[str]:
+        if self.root is None:
+            return sorted(self._memory)
+        return sorted(
+            entry
+            for entry in os.listdir(self.root)
+            if not entry.endswith(".tmp")
+        )
+
+    def metadata(self, digest: str) -> Dict:
+        if not self.exists(digest):
+            raise NotFoundError(f"no blob with id {digest}")
+        return dict(
+            self._metadata.get(digest, {"length": None, "filenames": []})
+        )
+
+    def __contains__(self, digest: str) -> bool:
+        return self.exists(digest)
+
+    def __len__(self) -> int:
+        return len(self.list_ids())
+
+    def _blob_path(self, digest: str) -> str:
+        return os.path.join(self.root, digest)

@@ -1,0 +1,80 @@
+"""GPU kernel descriptors.
+
+A :class:`GPUKernel` is the analytic profile of one launched grid: how many
+workgroups and wavefronts it spawns, its per-wavefront register and LDS
+demand, and the per-instruction behaviour (memory intensity, dependence
+density, critical-section synchronization) that the compute-unit timing
+model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class GPUKernel:
+    """One kernel launch's static profile."""
+
+    name: str
+    #: Workgroups in the launched grid.
+    num_workgroups: int
+    #: Wavefronts per workgroup (each wavefront has up to 64 threads).
+    wavefronts_per_workgroup: int = 1
+    #: Vector registers demanded by each wavefront.
+    vregs_per_wavefront: int = 64
+    #: Scalar registers demanded by each wavefront.
+    sregs_per_wavefront: int = 16
+    #: LDS bytes demanded by each workgroup.
+    lds_bytes_per_workgroup: int = 0
+    #: Dynamic vector instructions per wavefront.
+    instructions_per_wavefront: int = 2000
+    #: Fraction of instructions that access memory.
+    memory_intensity: float = 0.15
+    #: Fraction of memory operations whose consumer follows closely enough
+    #: to expose the memory latency (per-wavefront stall probability).
+    dependency_density: float = 0.5
+    #: Critical-section entries per wavefront (mutex-style sync).
+    sync_ops_per_wavefront: float = 0.0
+    #: Cycles spent inside one critical section.
+    critical_section_cycles: float = 200.0
+    #: Extra retry cost per additional contending wavefront (0..1+);
+    #: spin-with-backoff and sleep mutexes have lower coefficients than
+    #: raw fetch-and-add spinning.
+    contention_coefficient: float = 0.5
+    #: "Uniq" HeteroSync style: one lock per CU instead of one global
+    #: lock, so contention splits across CUs.
+    per_cu_sync: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("kernel needs a name")
+        for name in (
+            "num_workgroups",
+            "wavefronts_per_workgroup",
+            "vregs_per_wavefront",
+            "sregs_per_wavefront",
+            "instructions_per_wavefront",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValidationError(f"{name} must be positive")
+        for name in ("memory_intensity", "dependency_density"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValidationError(f"{name} must be within [0, 1]")
+        if self.sync_ops_per_wavefront < 0:
+            raise ValidationError("sync_ops_per_wavefront must be >= 0")
+        if self.lds_bytes_per_workgroup < 0:
+            raise ValidationError("lds_bytes_per_workgroup must be >= 0")
+        if self.contention_coefficient < 0:
+            raise ValidationError("contention_coefficient must be >= 0")
+
+    @property
+    def total_wavefronts(self) -> int:
+        return self.num_workgroups * self.wavefronts_per_workgroup
+
+    @property
+    def total_instructions(self) -> int:
+        return self.total_wavefronts * self.instructions_per_wavefront

@@ -1,0 +1,147 @@
+"""GPU register files and the two register-allocation policies.
+
+Quoting the paper: the GCN3 model offers "a simple allocation scheme that
+allocates 1 wavefront per SIMD16 in a compute unit at a time to limit
+stalls, and a dynamic allocation scheme that always allows up to the max
+wavefronts per CU at a time by monitoring per-wavefront register
+requirements compared to the number of available registers per CU."
+
+:class:`RegisterFile` does the bookkeeping (with invariants suited to
+property testing); the allocator classes answer the scheduling question the
+compute unit asks: *how many wavefronts may be resident per SIMD for this
+kernel?*
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import StateError, ValidationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernels import GPUKernel
+
+
+class RegisterFile:
+    """A bank of registers with allocate/free accounting."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValidationError("register file capacity must be positive")
+        self.capacity = capacity
+        self._allocations: Dict[str, int] = {}
+
+    @property
+    def used(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.used
+
+    def can_allocate(self, count: int) -> bool:
+        return 0 < count <= self.available
+
+    def allocate(self, owner: str, count: int) -> None:
+        if count <= 0:
+            raise ValidationError("allocation must be positive")
+        if owner in self._allocations:
+            raise StateError(f"{owner!r} already holds registers")
+        if count > self.available:
+            raise StateError(
+                f"cannot allocate {count} registers; only "
+                f"{self.available} free"
+            )
+        self._allocations[owner] = count
+
+    def free(self, owner: str) -> int:
+        if owner not in self._allocations:
+            raise StateError(f"{owner!r} holds no registers")
+        return self._allocations.pop(owner)
+
+    def owners(self):
+        return sorted(self._allocations)
+
+
+class RegisterAllocatorBase:
+    """Common interface: occupancy decision + feasibility check."""
+
+    name = "base"
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+
+    def check_feasible(self, kernel: GPUKernel) -> None:
+        """A kernel whose single wavefront cannot fit can never launch."""
+        if kernel.vregs_per_wavefront > (
+            self.config.vector_registers_per_simd
+        ):
+            raise ValidationError(
+                f"kernel {kernel.name!r} needs "
+                f"{kernel.vregs_per_wavefront} vregs/wavefront; a SIMD "
+                f"has {self.config.vector_registers_per_simd}"
+            )
+        if kernel.lds_bytes_per_workgroup > self.config.lds_bytes_per_cu:
+            raise ValidationError(
+                f"kernel {kernel.name!r} needs "
+                f"{kernel.lds_bytes_per_workgroup} LDS bytes/WG; a CU "
+                f"has {self.config.lds_bytes_per_cu}"
+            )
+
+    def wavefront_slots_per_simd(self, kernel: GPUKernel) -> int:
+        raise NotImplementedError
+
+
+class SimpleRegisterAllocator(RegisterAllocatorBase):
+    """One wavefront per SIMD16 at a time (stall-avoidance by fiat)."""
+
+    name = "simple"
+
+    def wavefront_slots_per_simd(self, kernel: GPUKernel) -> int:
+        self.check_feasible(kernel)
+        return 1
+
+
+class DynamicRegisterAllocator(RegisterAllocatorBase):
+    """Up to the hardware max wavefronts, bounded by register and LDS
+    availability per wavefront/workgroup."""
+
+    name = "dynamic"
+
+    def wavefront_slots_per_simd(self, kernel: GPUKernel) -> int:
+        self.check_feasible(kernel)
+        by_vregs = (
+            self.config.vector_registers_per_simd
+            // kernel.vregs_per_wavefront
+        )
+        by_lds = self._slots_by_lds(kernel)
+        slots = min(
+            self.config.max_wavefronts_per_simd, by_vregs, by_lds
+        )
+        return max(1, slots)
+
+    def _slots_by_lds(self, kernel: GPUKernel) -> int:
+        if kernel.lds_bytes_per_workgroup == 0:
+            return self.config.max_wavefronts_per_simd
+        workgroups_per_cu = (
+            self.config.lds_bytes_per_cu // kernel.lds_bytes_per_workgroup
+        )
+        wavefronts_per_cu = (
+            workgroups_per_cu * kernel.wavefronts_per_workgroup
+        )
+        return max(1, wavefronts_per_cu // self.config.simds_per_cu)
+
+
+REGISTER_ALLOCATORS = ("simple", "dynamic")
+
+
+def build_register_allocator(
+    name: str, config: GPUConfig
+) -> RegisterAllocatorBase:
+    if name == "simple":
+        return SimpleRegisterAllocator(config)
+    if name == "dynamic":
+        return DynamicRegisterAllocator(config)
+    raise ValidationError(
+        f"unknown register allocator {name!r}; "
+        f"one of {REGISTER_ALLOCATORS}"
+    )

@@ -1,0 +1,15 @@
+"""The GPU workload suite (the paper's Table IV)."""
+
+from repro.gpu.workloads.registry import (
+    GPU_WORKLOADS,
+    GPUWorkload,
+    get_gpu_workload,
+    WORKLOADS_BY_SUITE,
+)
+
+__all__ = [
+    "GPU_WORKLOADS",
+    "GPUWorkload",
+    "get_gpu_workload",
+    "WORKLOADS_BY_SUITE",
+]

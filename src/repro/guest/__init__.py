@@ -1,0 +1,41 @@
+"""Models of the guest software stack.
+
+A real full-system experiment layers a Linux kernel, an OS userland, a
+compiler toolchain, and benchmark binaries on a disk image.  The properties
+of those components — not their actual machine code — are what drive the
+paper's results: the compiler that built PARSEC determines dynamic
+instruction counts and locality (Fig 6), the kernel version determines boot
+behaviour and scheduler efficiency (Figs 7 and 8), and the init system
+determines what "boot to runlevel 5" costs.
+
+This package models exactly those properties, with deterministic "builds"
+so every produced binary has a stable content hash for the artifact layer.
+"""
+
+from repro.guest.compilers import Compiler, get_compiler, COMPILERS
+from repro.guest.kernels import (
+    LinuxKernel,
+    get_kernel,
+    build_kernel_binary,
+    KERNELS,
+    BOOT_TEST_KERNEL_VERSIONS,
+)
+from repro.guest.distros import (
+    UbuntuRelease,
+    get_distro,
+    DISTROS,
+)
+
+__all__ = [
+    "Compiler",
+    "get_compiler",
+    "COMPILERS",
+    "LinuxKernel",
+    "get_kernel",
+    "build_kernel_binary",
+    "KERNELS",
+    "BOOT_TEST_KERNEL_VERSIONS",
+    "UbuntuRelease",
+    "get_distro",
+    "DISTROS",
+]

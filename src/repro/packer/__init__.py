@@ -1,0 +1,22 @@
+"""A declarative disk-image builder — the Packer substitute.
+
+gem5-resources builds every disk image with Packer: a JSON template names a
+builder (which installs the base OS, driven by a preseed file) and a list of
+provisioners (file uploads and shell scripts that install benchmarks).  This
+package reproduces that pipeline against the virtual filesystem:
+
+- :class:`Template` — the validated recipe,
+- builders — produce a base :class:`~repro.vfs.DiskImage` for a distro,
+- provisioners — file/shell/preseed steps applied to the image,
+- :func:`build` — run a template end to end, returning the image and a
+  build log.
+
+Builds are fully deterministic: the same template yields a bit-identical
+image (and therefore the same artifact hash), which is the property the
+paper's reproducibility story rests on.
+"""
+
+from repro.packer.template import Template
+from repro.packer.build import build, BuildResult
+
+__all__ = ["Template", "build", "BuildResult"]

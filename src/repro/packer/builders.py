@@ -1,0 +1,86 @@
+"""Base-image builders.
+
+A builder produces the pristine OS userland a template's provisioners then
+customize.  The ``ubuntu`` builder synthesizes the base image directly from
+the distro model; the ``ubuntu-iso`` builder additionally demands the caller
+supply installation media, modelling the licensing rule gem5-resources
+applies to proprietary content (SPEC): recipes ship, media does not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.common.errors import ValidationError
+from repro.guest.distros import UbuntuRelease, get_distro
+from repro.vfs.image import DiskImage
+
+#: Standard user account created in every gem5-resources image.
+GUEST_USER = "gem5"
+
+
+def build_base_image(builder: Dict[str, Any]) -> DiskImage:
+    """Dispatch to the builder named by ``builder['type']``."""
+    builder_type = builder["type"]
+    if builder_type == "ubuntu":
+        return _build_ubuntu(builder)
+    if builder_type == "ubuntu-iso":
+        return _build_ubuntu_iso(builder)
+    raise ValidationError(f"unknown builder type {builder_type!r}")
+
+
+def _build_ubuntu(builder: Dict[str, Any]) -> DiskImage:
+    distro = get_distro(builder["distro"])
+    image = DiskImage(
+        name=builder["image_name"],
+        metadata={
+            "distro": distro.key,
+            "distro_version": distro.version,
+            "kernel": distro.kernel_version,
+            "compiler": distro.compiler.key,
+            "init_instructions": distro.init_instructions,
+            "packages": list(distro.base_packages),
+            "benchmarks": [],
+        },
+    )
+    _populate_userland(image, distro)
+    return image
+
+
+def _build_ubuntu_iso(builder: Dict[str, Any]) -> DiskImage:
+    iso_path = builder.get("iso_path")
+    if not iso_path:
+        raise ValidationError("ubuntu-iso builder requires 'iso_path'")
+    image = _build_ubuntu(builder)
+    image.metadata["installed_from_iso"] = iso_path
+    return image
+
+
+def _populate_userland(image: DiskImage, distro: UbuntuRelease) -> None:
+    """Lay out the minimal filesystem the simulator's boot sequencer and
+    the m5-style run scripts expect."""
+    image.write_file(
+        "/etc/os-release",
+        (
+            f"NAME={distro.name}\n"
+            f"VERSION_ID={distro.version}\n"
+            f"VERSION_CODENAME={distro.codename}\n"
+        ),
+    )
+    image.write_file("/etc/hostname", "gem5-guest\n")
+    image.write_file(
+        "/sbin/init",
+        f"# systemd stub for {distro.key}\n",
+        executable=True,
+    )
+    compiler = distro.compiler
+    image.write_file(
+        f"/usr/bin/{compiler.name}",
+        f"# {compiler.name} {compiler.version}\n",
+        executable=True,
+    )
+    image.mkdir(f"/home/{GUEST_USER}")
+    for package in distro.base_packages:
+        image.write_file(
+            f"/var/lib/dpkg/info/{package}.list", f"{package}\n"
+        )

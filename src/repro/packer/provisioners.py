@@ -1,0 +1,157 @@
+"""Provisioner steps applied to a base image.
+
+Three step kinds, mirroring the gem5-resources Packer scripts:
+
+- ``file`` — upload a file into the image;
+- ``preseed`` — record the unattended-install answers (hostname, user,
+  locale) the real Packer flow feeds the Ubuntu installer;
+- ``shell`` — run a small command language against the image.  The language
+  covers what the real benchmark-install scripts do: make directories,
+  write files, install packages, chmod, and *build benchmarks with the
+  image's own toolchain* (the step that makes the compiler → instruction
+  count causal chain real).
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Any, Dict, List
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import md5_text
+from repro.guest.compilers import get_compiler
+from repro.packer.builders import GUEST_USER
+from repro.vfs.image import DiskImage
+
+
+def apply_provisioner(
+    image: DiskImage, provisioner: Dict[str, Any], log: List[str]
+) -> None:
+    """Apply one provisioner step, appending human-readable log lines."""
+    kind = provisioner["type"]
+    if kind == "file":
+        _apply_file(image, provisioner, log)
+    elif kind == "preseed":
+        _apply_preseed(image, provisioner, log)
+    elif kind == "shell":
+        for command in provisioner["inline"]:
+            _run_shell_command(image, command, log)
+    else:
+        raise ValidationError(f"unknown provisioner type {kind!r}")
+
+
+def _apply_file(image, provisioner, log) -> None:
+    destination = provisioner["destination"]
+    image.write_file(
+        destination,
+        provisioner["content"],
+        executable=bool(provisioner.get("executable", False)),
+    )
+    log.append(f"file: wrote {destination}")
+
+
+def _apply_preseed(image, provisioner, log) -> None:
+    hostname = provisioner.get("hostname", "gem5-guest")
+    username = provisioner.get("username", GUEST_USER)
+    locale = provisioner.get("locale", "en_US.UTF-8")
+    content = (
+        f"d-i netcfg/get_hostname string {hostname}\n"
+        f"d-i passwd/username string {username}\n"
+        f"d-i debian-installer/locale string {locale}\n"
+        "d-i pkgsel/include string openssh-server build-essential\n"
+    )
+    image.write_file("/preseed.cfg", content)
+    image.metadata["preseed"] = {
+        "hostname": hostname,
+        "username": username,
+        "locale": locale,
+    }
+    log.append(f"preseed: hostname={hostname} user={username}")
+
+
+def _run_shell_command(image: DiskImage, command: str, log: List[str]):
+    """Interpret one command of the provisioning shell language."""
+    words = shlex.split(command)
+    if not words:
+        return
+    verb = words[0]
+    if verb == "mkdir":
+        args = [w for w in words[1:] if w != "-p"]
+        if len(args) != 1:
+            raise ValidationError(f"mkdir takes one path: {command!r}")
+        image.mkdir(args[0])
+        log.append(f"shell: mkdir {args[0]}")
+    elif verb == "echo":
+        _shell_echo(image, words[1:], command, log)
+    elif verb == "chmod":
+        if len(words) != 3 or words[1] != "+x":
+            raise ValidationError(f"chmod supports '+x PATH': {command!r}")
+        content = image.read_file(words[2])
+        image.write_file(words[2], content, executable=True)
+        log.append(f"shell: chmod +x {words[2]}")
+    elif verb == "install-package":
+        if len(words) != 2:
+            raise ValidationError(
+                f"install-package takes one name: {command!r}"
+            )
+        _install_package(image, words[1], log)
+    elif verb == "build-benchmark":
+        if len(words) != 3:
+            raise ValidationError(
+                f"build-benchmark takes SUITE APP: {command!r}"
+            )
+        build_benchmark(image, suite=words[1], app=words[2], log=log)
+    else:
+        raise ValidationError(
+            f"unsupported provisioning command {verb!r} in {command!r}"
+        )
+
+
+def _shell_echo(image, args, command, log) -> None:
+    if len(args) < 3 or args[-2] != ">":
+        raise ValidationError(
+            f"echo must be 'echo TEXT > PATH': {command!r}"
+        )
+    text = " ".join(args[:-2])
+    path = args[-1]
+    image.write_file(path, text + "\n")
+    log.append(f"shell: echo > {path}")
+
+
+def _install_package(image: DiskImage, package: str, log: List[str]):
+    packages = image.metadata.setdefault("packages", [])
+    if package not in packages:
+        packages.append(package)
+    image.write_file(f"/var/lib/dpkg/info/{package}.list", f"{package}\n")
+    log.append(f"shell: install-package {package}")
+
+
+def build_benchmark(
+    image: DiskImage, suite: str, app: str, log: List[str]
+) -> str:
+    """Compile a benchmark inside the image with its own toolchain.
+
+    Produces a deterministic pseudo-binary whose content depends on
+    (suite, app, compiler) — rebuild the image on a different distro and
+    the benchmark binary, hence the image hash, changes.  Records the build
+    in image metadata for the workload layer to discover at run time.
+    """
+    compiler_key = image.metadata.get("compiler")
+    if compiler_key is None:
+        raise ValidationError(
+            "image metadata lacks 'compiler'; was a base builder run?"
+        )
+    compiler = get_compiler(compiler_key)
+    path = f"/home/{GUEST_USER}/{suite}/{app}"
+    body = md5_text(f"{suite}/{app}/built-with/{compiler.key}") * 8
+    image.write_file(
+        path,
+        f"#!ELF {suite}:{app} cc={compiler.key}\n{body}",
+        executable=True,
+    )
+    builds = image.metadata.setdefault("benchmarks", [])
+    entry = {"suite": suite, "app": app, "compiler": compiler.key}
+    if entry not in builds:
+        builds.append(entry)
+    log.append(f"shell: build-benchmark {suite}/{app} ({compiler.key})")
+    return path

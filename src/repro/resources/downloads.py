@@ -1,0 +1,135 @@
+"""The resource repository — resources.gem5.org as an object.
+
+The paper distributes *pre-built* resources ("providing pre-made
+binaries") so users need not build disk images themselves, with one
+exception: licensing forbids shipping SPEC images.  A
+:class:`ResourceRepository` models that service for the offline world: it
+serves built resource payloads out of a local content-verified cache,
+building on first request (the "publisher" side) and loading thereafter
+(the "downloader" side).  Cache entries carry their content hash and are
+verified on every load, so a corrupted download can never be used
+silently.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.hashing import md5_bytes, md5_text
+from repro.common.jsonutil import canonical_dumps
+from repro.guest.kernels import build_kernel_binary, get_kernel
+from repro.resources.catalog import build_resource, get_resource
+from repro.vfs.image import DiskImage
+
+#: Resources served as pre-built disk images.
+IMAGE_RESOURCES = (
+    "boot-exit",
+    "gapbs",
+    "hack-back",
+    "npb",
+    "parsec",
+)
+
+
+class ResourceRepository:
+    """A local, content-verified cache of pre-built resources."""
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+        self.builds = 0  # cache misses (local builds performed)
+        self.hits = 0
+
+    # ------------------------------------------------------------ images
+
+    def list_available_images(self) -> List[str]:
+        return list(IMAGE_RESOURCES)
+
+    def fetch_disk_image(
+        self, name: str, distro: str = "ubuntu-18.04"
+    ) -> DiskImage:
+        """Return the pre-built disk image for a resource.
+
+        SPEC images are never served (the licensing rule); request the
+        template via :func:`repro.resources.build_resource` with your
+        licensed media instead.
+        """
+        resource = get_resource(name)
+        if not resource.redistributable:
+            raise ValidationError(
+                f"{name}: pre-built images are not distributable "
+                "(licensing); build locally from your own media"
+            )
+        if name not in IMAGE_RESOURCES:
+            raise NotFoundError(
+                f"{name} is not served as a disk image; available: "
+                f"{list(IMAGE_RESOURCES)}"
+            )
+        key = md5_text(canonical_dumps({"image": name, "distro": distro}))
+        path = os.path.join(self.cache_dir, f"{key}.img.json")
+        digest_path = path + ".md5"
+        if os.path.isfile(path) and os.path.isfile(digest_path):
+            image = self._load_verified(path, digest_path)
+            self.hits += 1
+            return image
+        image = build_resource(name, distro=distro).image
+        image.save(path)
+        with open(path, "rb") as handle:
+            digest = md5_bytes(handle.read())
+        with open(digest_path, "w", encoding="utf-8") as handle:
+            handle.write(digest)
+        self.builds += 1
+        return image
+
+    @staticmethod
+    def _load_verified(path: str, digest_path: str) -> DiskImage:
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(digest_path, "r", encoding="utf-8") as handle:
+            expected = handle.read().strip()
+        if md5_bytes(payload) != expected:
+            raise ValidationError(
+                f"cached resource {os.path.basename(path)} failed its "
+                "integrity check; delete the cache entry and re-fetch"
+            )
+        return DiskImage.load(path)
+
+    # ----------------------------------------------------------- kernels
+
+    def fetch_kernel(self, version: str, config: str = "default") -> bytes:
+        """Return a pre-built vmlinux, cached like the images."""
+        kernel = get_kernel(version)  # raises for unknown versions
+        key = md5_text(f"kernel/{version}/{config}")
+        path = os.path.join(self.cache_dir, f"{key}.vmlinux")
+        if os.path.isfile(path):
+            self.hits += 1
+            with open(path, "rb") as handle:
+                return handle.read()
+        payload = build_kernel_binary(kernel, config)
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        self.builds += 1
+        return payload
+
+    # ------------------------------------------------------------- cache
+
+    def cache_info(self) -> Dict[str, int]:
+        entries = [
+            entry
+            for entry in os.listdir(self.cache_dir)
+            if not entry.endswith(".md5")
+        ]
+        return {
+            "entries": len(entries),
+            "builds": self.builds,
+            "hits": self.hits,
+        }
+
+    def clear_cache(self) -> int:
+        removed = 0
+        for entry in os.listdir(self.cache_dir):
+            os.remove(os.path.join(self.cache_dir, entry))
+            removed += 1
+        return removed

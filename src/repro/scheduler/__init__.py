@@ -1,0 +1,41 @@
+"""A job-scheduler substrate — the Celery / multiprocessing substitute.
+
+gem5art hands run objects to an external task manager: Celery when runs span
+machines, or the Python multiprocessing library for a single host.  This
+package provides both API shapes backed by a thread worker pool, which is the
+right execution vehicle for a pure-Python simulator (jobs are CPU-light model
+evaluations, and threads share the in-process database):
+
+- :class:`SchedulerApp` — a Celery-like application: ``@app.task`` decorated
+  functions, ``apply_async``, task states, retries, timeouts, a result
+  backend, and worker lifecycle management.
+- :class:`SimplePool` — a ``multiprocessing.Pool``-like fallback for users
+  who want no scheduler at all (the paper's third option).
+"""
+
+from repro.scheduler.states import TaskState
+from repro.scheduler.result import AsyncResult
+from repro.scheduler.broker import Broker, TaskMessage
+from repro.scheduler.app import SchedulerApp
+from repro.scheduler.pool import SimplePool
+from repro.scheduler.batch import (
+    BatchSystem,
+    BatchJob,
+    JobDescription,
+    JobState,
+    Machine,
+)
+
+__all__ = [
+    "TaskState",
+    "AsyncResult",
+    "Broker",
+    "TaskMessage",
+    "SchedulerApp",
+    "SimplePool",
+    "BatchSystem",
+    "BatchJob",
+    "JobDescription",
+    "JobState",
+    "Machine",
+]

@@ -1,0 +1,270 @@
+"""The Celery-like application object.
+
+A :class:`SchedulerApp` owns the broker, the result backend, a registry of
+task functions, and a pool of worker threads.  Task functions are registered
+with the ``@app.task(...)`` decorator and submitted with ``apply_async``,
+matching how gem5art launch scripts fan out gem5 jobs.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.scheduler.broker import Broker, TaskMessage
+from repro.scheduler.result import AsyncResult, ResultBackend
+from repro.scheduler.states import TaskState
+
+_POLL_INTERVAL = 0.05
+
+
+class RegisteredTask:
+    """A task function bound to its app; supports direct calls and
+    ``apply_async`` submission."""
+
+    def __init__(
+        self,
+        app: "SchedulerApp",
+        func: Callable,
+        name: str,
+        max_retries: int,
+        timeout: Optional[float],
+    ):
+        self.app = app
+        self.func = func
+        self.name = name
+        self.max_retries = max_retries
+        self.timeout = timeout
+
+    def __call__(self, *args, **kwargs):
+        return self.func(*args, **kwargs)
+
+    def apply_async(
+        self,
+        args: Tuple = (),
+        kwargs: Dict[str, Any] = None,
+        timeout: float = None,
+    ) -> AsyncResult:
+        """Enqueue an invocation; returns the result handle immediately."""
+        return self.app.send_task(
+            self.name,
+            args=args,
+            kwargs=kwargs or {},
+            timeout=self.timeout if timeout is None else timeout,
+            max_retries=self.max_retries,
+        )
+
+
+class SchedulerApp:
+    """Task registry + broker + result backend + worker pool."""
+
+    def __init__(self, name: str = "repro", worker_count: int = 2):
+        if worker_count < 1:
+            raise ValidationError("worker_count must be >= 1")
+        self.name = name
+        self.broker = Broker()
+        self.backend = ResultBackend()
+        self.worker_count = worker_count
+        self._tasks: Dict[str, RegisteredTask] = {}
+        self._workers: list = []
+        self._stop = threading.Event()
+        self._started = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ registry
+
+    def task(
+        self,
+        name: str = None,
+        max_retries: int = 0,
+        timeout: float = None,
+    ) -> Callable:
+        """Decorator registering a function as a named task."""
+
+        def decorator(func: Callable) -> RegisteredTask:
+            task_name = name or f"{func.__module__}.{func.__qualname__}"
+            if task_name in self._tasks:
+                raise ValidationError(
+                    f"task {task_name!r} already registered"
+                )
+            registered = RegisteredTask(
+                self, func, task_name, max_retries, timeout
+            )
+            self._tasks[task_name] = registered
+            return registered
+
+        return decorator
+
+    def task_names(self):
+        return sorted(self._tasks)
+
+    # ---------------------------------------------------------- submission
+
+    def send_task(
+        self,
+        name: str,
+        args: Tuple = (),
+        kwargs: Dict[str, Any] = None,
+        timeout: float = None,
+        max_retries: int = 0,
+    ) -> AsyncResult:
+        if name not in self._tasks:
+            raise NotFoundError(f"no task registered as {name!r}")
+        message = TaskMessage(
+            task_name=name,
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+            timeout=timeout,
+            max_retries=max_retries,
+        )
+        self.backend.create(message.task_id)
+        self.broker.publish(message)
+        self._ensure_started()
+        return AsyncResult(message.task_id, self.backend)
+
+    def revoke(self, result: AsyncResult) -> None:
+        """Prevent a still-queued task from running."""
+        self.broker.revoke(result.task_id)
+
+    # ------------------------------------------------------------- workers
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for index in range(self.worker_count):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"{self.name}-worker-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            message = self.broker.consume(timeout=_POLL_INTERVAL)
+            if message is None:
+                continue
+            self._execute(message)
+
+    def _execute(self, message: TaskMessage) -> None:
+        if self.broker.is_revoked(message.task_id):
+            self.backend.transition(
+                message.task_id, TaskState.REVOKED, error="revoked"
+            )
+            return
+        task = self._tasks[message.task_name]
+        self.backend.transition(message.task_id, TaskState.STARTED)
+        outcome = _run_with_timeout(
+            task.func, message.args, message.kwargs, message.timeout
+        )
+        kind, payload = outcome
+        if kind == "success":
+            self.backend.transition(
+                message.task_id, TaskState.SUCCESS, result=payload
+            )
+        elif kind == "timeout":
+            self.backend.transition(
+                message.task_id,
+                TaskState.TIMEOUT,
+                error=f"timed out after {message.timeout}s",
+            )
+        elif message.retries < message.max_retries:
+            self.backend.transition(message.task_id, TaskState.RETRY)
+            message.retries += 1
+            self.backend.transition(message.task_id, TaskState.STARTED)
+            self.broker_retry(message)
+        else:
+            self.backend.transition(
+                message.task_id, TaskState.FAILURE, error=payload
+            )
+
+    def broker_retry(self, message: TaskMessage) -> None:
+        """Re-execute a retried message inline on this worker.
+
+        Inline (rather than re-published) execution keeps retry order
+        deterministic, which the integration tests rely on.
+        """
+        task = self._tasks[message.task_name]
+        kind, payload = _run_with_timeout(
+            task.func, message.args, message.kwargs, message.timeout
+        )
+        if kind == "success":
+            self.backend.transition(
+                message.task_id, TaskState.SUCCESS, result=payload
+            )
+        elif kind == "timeout":
+            self.backend.transition(
+                message.task_id,
+                TaskState.TIMEOUT,
+                error=f"timed out after {message.timeout}s",
+            )
+        elif message.retries < message.max_retries:
+            self.backend.transition(message.task_id, TaskState.RETRY)
+            message.retries += 1
+            self.backend.transition(message.task_id, TaskState.STARTED)
+            self.broker_retry(message)
+        else:
+            self.backend.transition(
+                message.task_id, TaskState.FAILURE, error=payload
+            )
+
+    # ------------------------------------------------------------ shutdown
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Block until the queue is empty and workers are idle."""
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        while len(self.broker) > 0:
+            if _time.monotonic() > deadline:
+                raise StateError("drain timed out with tasks still queued")
+            _time.sleep(_POLL_INTERVAL)
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (queued tasks are abandoned)."""
+        self._stop.set()
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+        self._workers.clear()
+        with self._lock:
+            self._started = False
+        self._stop = threading.Event()
+
+
+def _run_with_timeout(
+    func: Callable, args: Tuple, kwargs: Dict, timeout: Optional[float]
+):
+    """Run ``func`` and classify the outcome.
+
+    Returns ("success", value), ("timeout", None) or ("error", traceback).
+    Timeouts are implemented by running the call in a helper thread and
+    abandoning it — acceptable because simulator jobs are pure computations
+    with no external side effects to clean up.
+    """
+    if timeout is None:
+        try:
+            return ("success", func(*args, **kwargs))
+        except Exception:
+            return ("error", traceback.format_exc())
+
+    box: Dict[str, Any] = {}
+
+    def target():
+        try:
+            box["value"] = func(*args, **kwargs)
+        except Exception:
+            box["error"] = traceback.format_exc()
+
+    helper = threading.Thread(target=target, daemon=True)
+    helper.start()
+    helper.join(timeout=timeout)
+    if helper.is_alive():
+        return ("timeout", None)
+    if "error" in box:
+        return ("error", box["error"])
+    return ("success", box.get("value"))

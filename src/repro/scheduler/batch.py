@@ -1,0 +1,226 @@
+"""A Condor-style batch system.
+
+Section IV-D: "The GEM5ART task package can be extended to other job
+schedulers and distributed computing environments (e.g., Condor) in the
+future."  This module is that extension: a matchmaking batch system in the
+HTCondor mould —
+
+- a pool of :class:`Machine` s, each advertising slots and attributes
+  (memory, arbitrary key/values);
+- :class:`JobDescription` s declaring *requirements* that machines must
+  satisfy;
+- a deterministic negotiator that matches idle jobs (by priority, then
+  submission order) to free slots;
+- job states ``IDLE → RUNNING → COMPLETED/FAILED``, with ``HELD`` for
+  jobs no machine in the pool can ever satisfy.
+
+Execution is thread-backed (one worker per slot), like the rest of the
+scheduler substrate.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import StateError, ValidationError
+
+
+class JobState(str, enum.Enum):
+    IDLE = "idle"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    HELD = "held"
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One execute node in the pool."""
+
+    name: str
+    slots: int = 1
+    memory_mb: int = 8192
+    attributes: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        if self.slots < 1:
+            raise ValidationError("machines need at least one slot")
+        if self.memory_mb <= 0:
+            raise ValidationError("memory_mb must be positive")
+
+    def attribute_map(self) -> Dict[str, Any]:
+        return dict(self.attributes)
+
+    def satisfies(self, requirements: Dict[str, Any]) -> bool:
+        """Classad-style matching: ``memory_mb`` is a minimum, any other
+        key must equal the machine's advertised attribute."""
+        attributes = self.attribute_map()
+        for key, wanted in requirements.items():
+            if key == "memory_mb":
+                if self.memory_mb < wanted:
+                    return False
+            elif attributes.get(key) != wanted:
+                return False
+        return True
+
+
+@dataclass
+class JobDescription:
+    """A submit file, as an object."""
+
+    executable: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    requirements: Dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+
+
+class BatchJob:
+    """Handle for one submitted job."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, description: JobDescription):
+        self.job_id = next(BatchJob._ids)
+        self.description = description
+        self.state = JobState.IDLE
+        self.machine: Optional[str] = None
+        self.result: Any = None
+        self.error: Optional[str] = None
+        self._done = threading.Event()
+
+    def wait(self, timeout: float = None) -> JobState:
+        if not self._done.wait(timeout=timeout):
+            raise StateError(f"job {self.job_id} not finished in time")
+        return self.state
+
+    def get(self, timeout: float = None) -> Any:
+        state = self.wait(timeout=timeout)
+        if state is JobState.COMPLETED:
+            return self.result
+        raise StateError(
+            f"job {self.job_id} ended {state.value}: {self.error}"
+        )
+
+
+class BatchSystem:
+    """The pool: machines + queue + negotiator."""
+
+    def __init__(self):
+        self._machines: List[Machine] = []
+        self._queue: List[BatchJob] = []
+        self._free_slots: Dict[str, int] = {}
+        self._lock = threading.Condition()
+        self._threads: List[threading.Thread] = []
+
+    # ---------------------------------------------------------------- pool
+
+    def add_machine(self, machine: Machine) -> None:
+        with self._lock:
+            if any(m.name == machine.name for m in self._machines):
+                raise ValidationError(
+                    f"machine {machine.name!r} already in the pool"
+                )
+            self._machines.append(machine)
+            self._free_slots[machine.name] = machine.slots
+            self._lock.notify_all()
+
+    def total_slots(self) -> int:
+        return sum(machine.slots for machine in self._machines)
+
+    # -------------------------------------------------------------- submit
+
+    def submit(self, description: JobDescription) -> BatchJob:
+        job = BatchJob(description)
+        with self._lock:
+            if not self._matchable(description):
+                job.state = JobState.HELD
+                job.error = (
+                    "no machine in the pool satisfies the job "
+                    f"requirements {description.requirements}"
+                )
+                job._done.set()
+                return job
+            self._queue.append(job)
+        self._negotiate()
+        return job
+
+    def _matchable(self, description: JobDescription) -> bool:
+        return any(
+            machine.satisfies(description.requirements)
+            for machine in self._machines
+        )
+
+    # ---------------------------------------------------------- negotiator
+
+    def _negotiate(self) -> None:
+        """Match idle jobs to free slots; highest priority first, then
+        submission (job id) order — deterministic, as tests require."""
+        with self._lock:
+            idle = sorted(
+                (j for j in self._queue if j.state is JobState.IDLE),
+                key=lambda j: (-j.description.priority, j.job_id),
+            )
+            for job in idle:
+                machine = self._find_free_machine(job.description)
+                if machine is None:
+                    continue
+                self._free_slots[machine.name] -= 1
+                job.state = JobState.RUNNING
+                job.machine = machine.name
+                thread = threading.Thread(
+                    target=self._execute, args=(job, machine), daemon=True
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def _find_free_machine(
+        self, description: JobDescription
+    ) -> Optional[Machine]:
+        for machine in self._machines:
+            if self._free_slots[machine.name] <= 0:
+                continue
+            if machine.satisfies(description.requirements):
+                return machine
+        return None
+
+    def _execute(self, job: BatchJob, machine: Machine) -> None:
+        description = job.description
+        try:
+            job.result = description.executable(
+                *description.args, **description.kwargs
+            )
+            job.state = JobState.COMPLETED
+        except Exception:
+            job.error = traceback.format_exc()
+            job.state = JobState.FAILED
+        finally:
+            with self._lock:
+                self._free_slots[machine.name] += 1
+                self._queue.remove(job)
+                self._lock.notify_all()
+            job._done.set()
+            self._negotiate()
+
+    # ---------------------------------------------------------------- wait
+
+    def wait_all(self, timeout: float = 60.0) -> None:
+        """Block until the queue drains (held jobs are already final)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._queue:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise StateError("batch queue did not drain in time")
+                self._lock.wait(timeout=remaining)
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)

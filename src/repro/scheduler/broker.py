@@ -1,0 +1,60 @@
+"""The message broker: a thread-safe FIFO of task messages.
+
+Celery's broker (RabbitMQ/Redis) reduces, for a single host, to a queue of
+serializable messages; this is that queue.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.ids import new_uuid
+
+
+@dataclass
+class TaskMessage:
+    """One enqueued task invocation."""
+
+    task_name: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    task_id: str = field(default_factory=new_uuid)
+    timeout: Optional[float] = None
+    max_retries: int = 0
+    retries: int = 0
+
+
+class Broker:
+    """FIFO delivery of task messages to workers."""
+
+    def __init__(self):
+        self._queue: "queue.Queue[TaskMessage]" = queue.Queue()
+        self._revoked = set()
+        self._lock = threading.Lock()
+
+    def publish(self, message: TaskMessage) -> None:
+        self._queue.put(message)
+
+    def consume(self, timeout: float = None) -> Optional[TaskMessage]:
+        """Pop the next message, or None on timeout / empty non-blocking."""
+        try:
+            if timeout is None:
+                return self._queue.get_nowait()
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def revoke(self, task_id: str) -> None:
+        """Mark a task so workers drop it instead of executing it."""
+        with self._lock:
+            self._revoked.add(task_id)
+
+    def is_revoked(self, task_id: str) -> bool:
+        with self._lock:
+            return task_id in self._revoked
+
+    def __len__(self) -> int:
+        return self._queue.qsize()

@@ -1,0 +1,97 @@
+"""A ``multiprocessing.Pool``-shaped fallback.
+
+The paper offers the Python multiprocessing library as the lighter-weight
+alternative to Celery.  :class:`SimplePool` mirrors the relevant API surface
+(`apply_async`, `map`, `close`, `join`) over a thread pool so launch scripts
+can switch between the two scheduler styles with one line.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, List
+
+from repro.common.errors import StateError
+
+
+class PoolResult:
+    """Handle returned by :meth:`SimplePool.apply_async`."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: BaseException = None
+
+    def _complete(self, value: Any = None, error: BaseException = None):
+        self._value = value
+        self._error = error
+        self._event.set()
+
+    def ready(self) -> bool:
+        return self._event.is_set()
+
+    def successful(self) -> bool:
+        if not self.ready():
+            raise StateError("result not ready")
+        return self._error is None
+
+    def get(self, timeout: float = None) -> Any:
+        if not self._event.wait(timeout=timeout):
+            raise StateError("timed out waiting for pool result")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class SimplePool:
+    """A fixed-size worker pool with multiprocessing.Pool semantics."""
+
+    def __init__(self, processes: int = 4):
+        if processes < 1:
+            raise StateError("pool needs at least one worker")
+        self._semaphore = threading.Semaphore(processes)
+        self._threads: List[threading.Thread] = []
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def apply_async(
+        self, func: Callable, args: tuple = (), kwds: dict = None
+    ) -> PoolResult:
+        with self._lock:
+            if self._closed:
+                raise StateError("pool is closed")
+            result = PoolResult()
+
+            def runner():
+                with self._semaphore:
+                    try:
+                        result._complete(value=func(*args, **(kwds or {})))
+                    except BaseException as exc:  # propagate to .get()
+                        result._complete(error=exc)
+
+            thread = threading.Thread(target=runner, daemon=True)
+            self._threads.append(thread)
+            thread.start()
+            return result
+
+    def map(self, func: Callable, iterable: Iterable) -> List[Any]:
+        """Apply ``func`` to every item, preserving order."""
+        handles = [self.apply_async(func, (item,)) for item in iterable]
+        return [handle.get() for handle in handles]
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+
+    def join(self) -> None:
+        if not self._closed:
+            raise StateError("join() requires close() first")
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "SimplePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.join()

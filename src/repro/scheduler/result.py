@@ -1,0 +1,135 @@
+"""Result backend and the AsyncResult handle callers poll.
+
+The backend records per-task state transitions (enforcing the state machine
+from :mod:`repro.scheduler.states`), the return value or error text, and
+timing — the "summary of useful information (like run status and execution
+time)" that gem5art stores in the database.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.common.errors import NotFoundError, StateError
+from repro.scheduler.states import TaskState, can_transition
+
+
+class ResultBackend:
+    """Thread-safe store of task outcomes."""
+
+    def __init__(self):
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Condition()
+
+    def create(self, task_id: str) -> None:
+        with self._lock:
+            self._records[task_id] = {
+                "state": TaskState.PENDING,
+                "result": None,
+                "error": None,
+                "submitted_at": time.monotonic(),
+                "started_at": None,
+                "finished_at": None,
+                "retries": 0,
+            }
+
+    def transition(
+        self,
+        task_id: str,
+        state: TaskState,
+        result: Any = None,
+        error: str = None,
+    ) -> None:
+        with self._lock:
+            record = self._get(task_id)
+            current = record["state"]
+            if not can_transition(current, state):
+                raise StateError(
+                    f"illegal transition {current.value} -> {state.value} "
+                    f"for task {task_id}"
+                )
+            record["state"] = state
+            if state is TaskState.STARTED:
+                record["started_at"] = time.monotonic()
+            if state is TaskState.RETRY:
+                record["retries"] += 1
+            if state.is_terminal:
+                record["finished_at"] = time.monotonic()
+                record["result"] = result
+                record["error"] = error
+            self._lock.notify_all()
+
+    def state(self, task_id: str) -> TaskState:
+        with self._lock:
+            return self._get(task_id)["state"]
+
+    def record(self, task_id: str) -> Dict[str, Any]:
+        with self._lock:
+            return dict(self._get(task_id))
+
+    def wait(self, task_id: str, timeout: float = None) -> TaskState:
+        """Block until the task reaches a terminal state (or timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                state = self._get(task_id)["state"]
+                if state.is_terminal:
+                    return state
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return state
+                self._lock.wait(timeout=remaining)
+
+    def _get(self, task_id: str) -> Dict[str, Any]:
+        if task_id not in self._records:
+            raise NotFoundError(f"unknown task id: {task_id}")
+        return self._records[task_id]
+
+
+class AsyncResult:
+    """Handle for one submitted task, in the Celery style."""
+
+    def __init__(self, task_id: str, backend: ResultBackend):
+        self.task_id = task_id
+        self._backend = backend
+
+    @property
+    def state(self) -> TaskState:
+        return self._backend.state(self.task_id)
+
+    def ready(self) -> bool:
+        return self.state.is_terminal
+
+    def successful(self) -> bool:
+        return self.state is TaskState.SUCCESS
+
+    def get(self, timeout: float = None) -> Any:
+        """Wait for completion and return the result.
+
+        Raises :class:`StateError` carrying the task error when the task
+        failed, timed out, was revoked, or did not finish before ``timeout``.
+        """
+        state = self._backend.wait(self.task_id, timeout=timeout)
+        record = self._backend.record(self.task_id)
+        if state is TaskState.SUCCESS:
+            return record["result"]
+        if not state.is_terminal:
+            raise StateError(
+                f"task {self.task_id} not finished within timeout "
+                f"(state={state.value})"
+            )
+        raise StateError(
+            f"task {self.task_id} ended in state {state.value}: "
+            f"{record['error']}"
+        )
+
+    def runtime(self) -> Optional[float]:
+        """Wall-clock execution time in seconds, when finished."""
+        record = self._backend.record(self.task_id)
+        if record["started_at"] is None or record["finished_at"] is None:
+            return None
+        return record["finished_at"] - record["started_at"]

@@ -1,0 +1,52 @@
+"""Task lifecycle states, mirroring Celery's state vocabulary."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TaskState(str, enum.Enum):
+    """States a task moves through from submission to completion."""
+
+    PENDING = "PENDING"
+    STARTED = "STARTED"
+    RETRY = "RETRY"
+    SUCCESS = "SUCCESS"
+    FAILURE = "FAILURE"
+    TIMEOUT = "TIMEOUT"
+    REVOKED = "REVOKED"
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether no further transitions can happen from this state."""
+        return self in (
+            TaskState.SUCCESS,
+            TaskState.FAILURE,
+            TaskState.TIMEOUT,
+            TaskState.REVOKED,
+        )
+
+
+#: Transitions the result backend will accept; anything else is a bug.
+ALLOWED_TRANSITIONS = {
+    TaskState.PENDING: {
+        TaskState.STARTED,
+        TaskState.REVOKED,
+    },
+    TaskState.STARTED: {
+        TaskState.SUCCESS,
+        TaskState.FAILURE,
+        TaskState.TIMEOUT,
+        TaskState.RETRY,
+    },
+    TaskState.RETRY: {TaskState.STARTED, TaskState.REVOKED},
+    TaskState.SUCCESS: set(),
+    TaskState.FAILURE: set(),
+    TaskState.TIMEOUT: set(),
+    TaskState.REVOKED: set(),
+}
+
+
+def can_transition(src: TaskState, dst: TaskState) -> bool:
+    """Return True when the state machine permits ``src -> dst``."""
+    return dst in ALLOWED_TRANSITIONS[src]

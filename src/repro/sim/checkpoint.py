@@ -1,0 +1,106 @@
+"""Simulation checkpoints.
+
+The ``hack-back`` resource (Table I) exists for one workflow: boot Linux
+once — usually under a fast CPU model — take a checkpoint via the ``m5
+checkpoint`` op, then restore it under a detailed CPU to run the region of
+interest without paying for the boot again.  :class:`Checkpoint` captures
+the state identity needed to make restoration safe:
+
+- the kernel, boot type and disk image the boot used (restoring a
+  checkpoint onto different guest state would be silently wrong);
+- the platform shape (core count and memory system — gem5 checkpoints are
+  not portable across these);
+- the boot outcome (simulated time and instructions, reported by restored
+  runs without re-simulation).
+
+CPU *type* is deliberately not part of the identity: switching from a
+kvm/atomic boot to a timing/O3 measurement CPU is the whole point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import md5_text
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A completed-boot snapshot with its compatibility identity."""
+
+    kernel_version: str
+    boot_type: str
+    disk_image_hash: str
+    num_cpus: int
+    memory_system: str
+    boot_seconds: float
+    boot_instructions: int
+
+    @property
+    def checkpoint_id(self) -> str:
+        """Stable content identity (registerable as an artifact)."""
+        return md5_text(
+            "|".join(
+                [
+                    self.kernel_version,
+                    self.boot_type,
+                    self.disk_image_hash,
+                    str(self.num_cpus),
+                    self.memory_system,
+                ]
+            )
+        )
+
+    def check_compatible(
+        self,
+        kernel_version: str,
+        disk_image_hash: str,
+        num_cpus: int,
+        memory_system: str,
+    ) -> None:
+        """Raise when restoring onto mismatched guest or platform state."""
+        mismatches = []
+        if kernel_version != self.kernel_version:
+            mismatches.append(
+                f"kernel {kernel_version} != {self.kernel_version}"
+            )
+        if disk_image_hash != self.disk_image_hash:
+            mismatches.append("disk image differs from checkpointed image")
+        if num_cpus != self.num_cpus:
+            mismatches.append(
+                f"num_cpus {num_cpus} != {self.num_cpus}"
+            )
+        if memory_system != self.memory_system:
+            mismatches.append(
+                f"memory system {memory_system} != {self.memory_system}"
+            )
+        if mismatches:
+            raise ValidationError(
+                "checkpoint incompatible with this run: "
+                + "; ".join(mismatches)
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "checkpoint_id": self.checkpoint_id,
+            "kernel_version": self.kernel_version,
+            "boot_type": self.boot_type,
+            "disk_image_hash": self.disk_image_hash,
+            "num_cpus": self.num_cpus,
+            "memory_system": self.memory_system,
+            "boot_seconds": self.boot_seconds,
+            "boot_instructions": self.boot_instructions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Checkpoint":
+        return cls(
+            kernel_version=data["kernel_version"],
+            boot_type=data["boot_type"],
+            disk_image_hash=data["disk_image_hash"],
+            num_cpus=data["num_cpus"],
+            memory_system=data["memory_system"],
+            boot_seconds=data["boot_seconds"],
+            boot_instructions=data["boot_instructions"],
+        )

@@ -1,0 +1,133 @@
+"""Simulated-system configuration.
+
+A :class:`SystemConfig` is the "parameters to configuration" box of the
+paper's Fig 1 workflow: CPU model and count, clock, memory system and
+protocol, cache geometry, and DRAM technology.  Table II (PARSEC) and the
+Fig 8 sweep are expressed as instances of this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.common.errors import ValidationError
+from repro.common.units import GHz
+
+#: CPU models, in the paper's vocabulary.
+CPU_TYPES = ("kvm", "atomic", "timing", "o3")
+
+#: Memory systems swept by the boot tests: the classic hierarchy and two
+#: Ruby protocols.
+MEMORY_SYSTEMS = ("classic", "MI_example", "MESI_Two_Level")
+
+
+@dataclass(frozen=True)
+class MemoryTech:
+    """A DRAM technology point."""
+
+    name: str
+    access_latency_ns: float
+    bandwidth_gbps: float
+
+
+#: The technologies gem5 ships; the paper uses DDR3_1600_8x8 throughout.
+MEMORY_TECHS = {
+    "DDR3_1600_8x8": MemoryTech("DDR3_1600_8x8", 45.0, 12.8),
+    "DDR4_2400_16x4": MemoryTech("DDR4_2400_16x4", 38.0, 19.2),
+    "HBM_1000_4H_1x64": MemoryTech("HBM_1000_4H_1x64", 30.0, 64.0),
+}
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level's geometry and timing."""
+
+    size_bytes: int
+    assoc: int
+    latency_cycles: int
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.assoc <= 0:
+            raise ValidationError("cache size/assoc must be positive")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete simulated-machine description."""
+
+    cpu_type: str = "timing"
+    num_cpus: int = 1
+    cpu_clock_ghz: float = 3.0
+    memory_system: str = "classic"
+    memory_tech: str = "DDR3_1600_8x8"
+    memory_channels: int = 1
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 8, 2)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 8, 2)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1024 * 1024, 16, 12)
+    )
+    #: Enable the stride prefetcher model (off by default, matching the
+    #: baseline systems of the paper's experiments).
+    prefetcher: bool = False
+    #: Fraction of a perfectly-regular stream's DRAM stall the
+    #: prefetcher hides when enabled.
+    prefetcher_effectiveness: float = 0.7
+
+    def __post_init__(self):
+        if self.cpu_type not in CPU_TYPES:
+            raise ValidationError(
+                f"unknown cpu type {self.cpu_type!r}; one of {CPU_TYPES}"
+            )
+        if self.memory_system not in MEMORY_SYSTEMS:
+            raise ValidationError(
+                f"unknown memory system {self.memory_system!r}; "
+                f"one of {MEMORY_SYSTEMS}"
+            )
+        if self.memory_tech not in MEMORY_TECHS:
+            raise ValidationError(
+                f"unknown memory tech {self.memory_tech!r}"
+            )
+        if self.num_cpus < 1:
+            raise ValidationError("num_cpus must be >= 1")
+        if self.memory_channels < 1:
+            raise ValidationError("memory_channels must be >= 1")
+        if self.cpu_clock_ghz <= 0:
+            raise ValidationError("cpu clock must be positive")
+        if not 0.0 <= self.prefetcher_effectiveness <= 1.0:
+            raise ValidationError(
+                "prefetcher_effectiveness must be within [0, 1]"
+            )
+
+    @property
+    def clock_period_ticks(self) -> int:
+        return GHz(self.cpu_clock_ghz)
+
+    @property
+    def uses_ruby(self) -> bool:
+        return self.memory_system != "classic"
+
+    @property
+    def dram(self) -> MemoryTech:
+        return MEMORY_TECHS[self.memory_tech]
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_cpus}x {self.cpu_type} @ {self.cpu_clock_ghz} GHz, "
+            f"{self.memory_system} memory, {self.memory_tech} "
+            f"x{self.memory_channels}"
+        )
+
+    def key(self) -> Tuple:
+        """A hashable identity used by the fault model and run records."""
+        return (
+            self.cpu_type,
+            self.num_cpus,
+            self.memory_system,
+            self.memory_tech,
+            self.memory_channels,
+        )

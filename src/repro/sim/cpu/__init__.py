@@ -1,0 +1,19 @@
+"""CPU timing models."""
+
+from repro.sim.cpu.models import (
+    CpuModel,
+    KvmCPU,
+    AtomicSimpleCPU,
+    TimingSimpleCPU,
+    O3CPU,
+    build_cpu_model,
+)
+
+__all__ = [
+    "CpuModel",
+    "KvmCPU",
+    "AtomicSimpleCPU",
+    "TimingSimpleCPU",
+    "O3CPU",
+    "build_cpu_model",
+]

@@ -1,0 +1,79 @@
+"""Analytic cache behaviour model.
+
+Workload phases are characterized statistically (working-set size, locality,
+sharing), so the cache model is analytic rather than trace-driven: it turns
+those parameters plus the cache geometry into miss ratios.  The model is the
+classic two-component one — a locality-absorbed fraction (stack/register
+reuse that hits regardless of capacity) plus a capacity component that
+scales with how much of the working set fits.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.sim.config import CacheConfig
+
+#: Compulsory (cold) miss floor — no cache avoids these.
+COLD_MISS_FLOOR = 0.002
+
+
+def capacity_miss_ratio(working_set_bytes: int, cache_bytes: int) -> float:
+    """Miss ratio of the capacity component.
+
+    When the working set fits, only the cold floor remains; beyond that the
+    miss ratio approaches ``1 - size/ws`` (the fraction of the uniformly
+    reused working set that cannot be resident).
+    """
+    if cache_bytes <= 0:
+        raise ValidationError("cache size must be positive")
+    if working_set_bytes <= cache_bytes:
+        return COLD_MISS_FLOOR
+    miss = 1.0 - (cache_bytes / working_set_bytes)
+    return max(COLD_MISS_FLOOR, min(1.0, miss))
+
+
+class CacheModel:
+    """Per-level miss ratios for one phase profile.
+
+    ``locality`` is the fraction of accesses absorbed by near-register reuse
+    (hits in L1 irrespective of working-set size); the remainder is exposed
+    to the capacity model at each level.
+    """
+
+    def __init__(
+        self,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        working_set_bytes: int,
+        locality: float,
+    ):
+        if not 0.0 <= locality <= 1.0:
+            raise ValidationError("locality must be within [0, 1]")
+        self.l1 = l1
+        self.l2 = l2
+        self.working_set_bytes = working_set_bytes
+        self.locality = locality
+
+    def l1_miss_ratio(self) -> float:
+        """Fraction of accesses missing L1."""
+        return (1.0 - self.locality) * capacity_miss_ratio(
+            self.working_set_bytes, self.l1.size_bytes
+        )
+
+    def l2_local_miss_ratio(self) -> float:
+        """Of the L1 misses, the fraction that also miss L2."""
+        exposed = capacity_miss_ratio(
+            self.working_set_bytes, self.l2.size_bytes
+        )
+        l1_exposed = capacity_miss_ratio(
+            self.working_set_bytes, self.l1.size_bytes
+        )
+        if l1_exposed <= 0:
+            return COLD_MISS_FLOOR
+        # L2 can only filter what L1 missed; its residual miss ratio is the
+        # ratio of the two capacity terms, floored at the cold rate.
+        return max(COLD_MISS_FLOOR, min(1.0, exposed / l1_exposed))
+
+    def dram_access_ratio(self) -> float:
+        """Fraction of all accesses that reach DRAM."""
+        return self.l1_miss_ratio() * self.l2_local_miss_ratio()

@@ -1,0 +1,190 @@
+"""gem5 run scripts as objects.
+
+The "system configuration (python script)" box of the paper's Fig 1: each
+gem5-resources workload ships a run script that takes positional
+parameters (disk image, kernel, CPU type, core count, ...).  gem5art then
+documents the exact command line that reproduces a run.
+
+:class:`RunScript` models one such script: an ordered positional-parameter
+contract with types, choices and defaults; parsing produces the keyword
+set :class:`~repro.sim.simulator.Gem5Simulator` consumes, and
+:meth:`command_line` renders the reproduction command that run documents
+record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ValidationError
+from repro.sim.config import CPU_TYPES, MEMORY_SYSTEMS
+
+
+@dataclass(frozen=True)
+class ScriptParam:
+    """One positional parameter of a run script."""
+
+    name: str
+    convert: Callable[[str], Any] = str
+    choices: Optional[Tuple[Any, ...]] = None
+    default: Any = None
+    required: bool = True
+
+    def parse(self, token: Optional[str]) -> Any:
+        if token is None:
+            if self.required:
+                raise ValidationError(
+                    f"missing required parameter {self.name!r}"
+                )
+            return self.default
+        try:
+            value = self.convert(token)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"parameter {self.name!r}: cannot convert {token!r}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ValidationError(
+                f"parameter {self.name!r}: {value!r} not one of "
+                f"{list(self.choices)}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class RunScript:
+    """A named script with an ordered parameter contract."""
+
+    name: str
+    path: str
+    params: Tuple[ScriptParam, ...]
+    description: str = ""
+
+    def parse(self, argv: Sequence[str]) -> Dict[str, Any]:
+        """Parse positional arguments into a parameter dict."""
+        argv = list(argv)
+        required = [p for p in self.params if p.required]
+        if len(argv) < len(required):
+            raise ValidationError(
+                f"{self.name}: expected at least {len(required)} "
+                f"arguments ({[p.name for p in required]}), got "
+                f"{len(argv)}"
+            )
+        if len(argv) > len(self.params):
+            raise ValidationError(
+                f"{self.name}: too many arguments "
+                f"({len(argv)} > {len(self.params)})"
+            )
+        values: Dict[str, Any] = {}
+        for index, param in enumerate(self.params):
+            token = argv[index] if index < len(argv) else None
+            values[param.name] = param.parse(token)
+        return values
+
+    def command_line(self, binary: str, argv: Sequence[str]) -> str:
+        """The documented reproduction command for one invocation."""
+        self.parse(argv)  # validate before documenting
+        return " ".join([binary, self.path] + [str(a) for a in argv])
+
+    def usage(self) -> str:
+        parts = []
+        for param in self.params:
+            label = param.name
+            if param.choices:
+                label += "{" + "|".join(str(c) for c in param.choices) + "}"
+            parts.append(f"<{label}>" if param.required else f"[{label}]")
+        return f"{self.path} " + " ".join(parts)
+
+
+_CPU_PARAM = ScriptParam("cpu_type", choices=tuple(CPU_TYPES))
+_MEM_PARAM = ScriptParam(
+    "memory_system", choices=tuple(MEMORY_SYSTEMS), required=False,
+    default="classic",
+)
+_CORES_PARAM = ScriptParam("num_cpus", convert=int, choices=(1, 2, 4, 8))
+
+
+#: The boot-exit resource's run script (use-case 2).
+BOOT_EXIT_SCRIPT = RunScript(
+    name="boot-exit",
+    path="configs/run_exit.py",
+    description="boot Linux and exit via the m5 op",
+    params=(
+        ScriptParam("kernel"),
+        ScriptParam("disk_image"),
+        _CPU_PARAM,
+        _CORES_PARAM,
+        ScriptParam("boot_type", choices=("init", "systemd")),
+        _MEM_PARAM,
+    ),
+)
+
+#: The PARSEC resource's run script (use-case 1).
+PARSEC_SCRIPT = RunScript(
+    name="parsec",
+    path="configs/run_parsec.py",
+    description="boot Linux and run one PARSEC application",
+    params=(
+        ScriptParam("kernel"),
+        ScriptParam("disk_image"),
+        _CPU_PARAM,
+        ScriptParam("benchmark"),
+        ScriptParam(
+            "input_size",
+            choices=("simsmall", "simmedium", "simlarge"),
+        ),
+        _CORES_PARAM,
+        _MEM_PARAM,
+    ),
+)
+
+#: The NPB resource's run script.
+NPB_SCRIPT = RunScript(
+    name="npb",
+    path="configs/run_npb.py",
+    description="boot Linux and run one NAS Parallel Benchmark",
+    params=(
+        ScriptParam("kernel"),
+        ScriptParam("disk_image"),
+        _CPU_PARAM,
+        ScriptParam("benchmark"),
+        ScriptParam("input_size", choices=("S", "W", "A", "B", "C")),
+        _CORES_PARAM,
+        _MEM_PARAM,
+    ),
+)
+
+#: The GAPBS resource's run script.
+GAPBS_SCRIPT = RunScript(
+    name="gapbs",
+    path="configs/run_gapbs.py",
+    description="boot Linux and run one GAP benchmark kernel",
+    params=(
+        ScriptParam("kernel"),
+        ScriptParam("disk_image"),
+        _CPU_PARAM,
+        ScriptParam("benchmark"),
+        ScriptParam("input_size", convert=int),
+        _CORES_PARAM,
+        _MEM_PARAM,
+    ),
+)
+
+RUN_SCRIPTS = {
+    script.name: script
+    for script in (
+        BOOT_EXIT_SCRIPT,
+        PARSEC_SCRIPT,
+        NPB_SCRIPT,
+        GAPBS_SCRIPT,
+    )
+}
+
+
+def get_run_script(name: str) -> RunScript:
+    if name not in RUN_SCRIPTS:
+        raise ValidationError(
+            f"unknown run script {name!r}; known: {sorted(RUN_SCRIPTS)}"
+        )
+    return RUN_SCRIPTS[name]

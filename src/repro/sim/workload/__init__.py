@@ -1,0 +1,49 @@
+"""Workload behaviour models: phase descriptors, the PARSEC suite, and the
+full-system boot workload."""
+
+from repro.sim.workload.phases import Phase, Workload
+from repro.sim.workload.parsec import (
+    PARSEC_APPS,
+    PARSEC_WORKING_APPS,
+    PARSEC_BROKEN_APPS,
+    ParsecApp,
+    get_parsec_workload,
+    INPUT_SIZES,
+)
+from repro.sim.workload.boot import boot_workload, BOOT_TYPES
+from repro.sim.workload.npb import NPB_APPS, NPB_CLASSES, get_npb_workload
+from repro.sim.workload.gapbs import GAPBS_KERNELS, get_gapbs_workload
+from repro.sim.workload.spec import (
+    SPEC_BENCHMARKS,
+    SPEC_INPUTS,
+    get_spec_workload,
+)
+from repro.sim.workload.registry import (
+    DEFAULT_INPUTS,
+    get_workload,
+    suite_apps,
+)
+
+__all__ = [
+    "NPB_APPS",
+    "NPB_CLASSES",
+    "get_npb_workload",
+    "GAPBS_KERNELS",
+    "get_gapbs_workload",
+    "SPEC_BENCHMARKS",
+    "SPEC_INPUTS",
+    "get_spec_workload",
+    "DEFAULT_INPUTS",
+    "get_workload",
+    "suite_apps",
+    "Phase",
+    "Workload",
+    "PARSEC_APPS",
+    "PARSEC_WORKING_APPS",
+    "PARSEC_BROKEN_APPS",
+    "ParsecApp",
+    "get_parsec_workload",
+    "INPUT_SIZES",
+    "boot_workload",
+    "BOOT_TYPES",
+]

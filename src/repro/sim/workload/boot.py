@@ -1,0 +1,74 @@
+"""The full-system boot workload.
+
+Use-case 2 boots Linux under two *boot types* (Fig 8): ``init`` — boot the
+kernel and run a trivial init that exits immediately — and ``systemd`` —
+continue into userspace to runlevel 5 (multi-user).  The boot workload is
+synthesized from the kernel model's phase breakdown plus, for ``systemd``,
+the distro's init workload.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.guest.kernels import LinuxKernel
+from repro.sim.workload.phases import Phase, Workload
+
+#: The two boot types of the Fig 8 sweep.
+BOOT_TYPES = ("init", "systemd")
+
+_MiB = 1024 * 1024
+
+#: Kernel boot memory profile: small hot footprint, driver tables beyond L2.
+_KERNEL_PROFILE = dict(
+    mem_accesses_per_kinst=350.0,
+    working_set_bytes=12 * _MiB,
+    locality=0.90,
+    write_fraction=0.40,
+    imbalance_sensitivity=0.10,
+)
+
+
+def boot_workload(
+    kernel: LinuxKernel,
+    boot_type: str = "systemd",
+    init_instructions: int = 250_000_000,
+) -> Workload:
+    """Build the boot workload for a kernel and boot type.
+
+    ``init_instructions`` is the userspace init cost (taken from the distro
+    model when booting a real image); ignored for ``init`` boots.
+    """
+    if boot_type not in BOOT_TYPES:
+        raise ValidationError(
+            f"unknown boot type {boot_type!r}; one of {BOOT_TYPES}"
+        )
+    phases = [
+        Phase(
+            name=f"kernel.{phase_name}",
+            instructions=instructions,
+            parallelism=1,
+            shared_fraction=0.02,
+            sync_per_kinst=0.05,
+            **_KERNEL_PROFILE,
+        )
+        for phase_name, instructions in kernel.boot_phases
+    ]
+    if boot_type == "systemd":
+        phases.append(
+            Phase(
+                name="userspace.runlevel5",
+                instructions=init_instructions,
+                parallelism=2,  # systemd parallelizes service startup some
+                shared_fraction=0.10,
+                sync_per_kinst=0.30,
+                mem_accesses_per_kinst=330.0,
+                working_set_bytes=24 * _MiB,
+                locality=0.90,
+                write_fraction=0.35,
+                imbalance_sensitivity=0.10,
+            )
+        )
+    return Workload(
+        name=f"boot.linux-{kernel.version}.{boot_type}",
+        phases=tuple(phases),
+    )

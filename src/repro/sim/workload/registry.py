@@ -1,0 +1,98 @@
+"""Cross-suite workload lookup.
+
+The run layer discovers which benchmarks a disk image carries from the
+image metadata (``{"suite": ..., "app": ...}`` entries written by the
+packer's ``build-benchmark`` step); this registry maps those (suite, app)
+pairs to executable workloads, with per-suite input-size vocabularies:
+
+- ``parsec`` — simsmall / simmedium / simlarge,
+- ``npb`` — classes S / W / A / B / C,
+- ``gapbs`` — graph scale as a decimal string (e.g. ``"16"``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.sim.workload.gapbs import (
+    DEFAULT_SCALE,
+    GAPBS_KERNELS,
+    get_gapbs_workload,
+)
+from repro.sim.workload.npb import NPB_APPS, get_npb_workload
+from repro.sim.workload.parsec import PARSEC_APPS, get_parsec_workload
+from repro.sim.workload.phases import Workload
+from repro.sim.workload.spec import SPEC_BENCHMARKS, get_spec_workload
+
+#: Default input size per suite.
+DEFAULT_INPUTS = {
+    "parsec": "simmedium",
+    "npb": "A",
+    "gapbs": str(DEFAULT_SCALE),
+    "spec-2006": "ref",
+    "spec-2017": "ref",
+}
+
+
+def suite_apps(suite: str) -> Tuple[str, ...]:
+    """The applications a suite provides."""
+    if suite == "parsec":
+        return tuple(sorted(PARSEC_APPS))
+    if suite == "npb":
+        return tuple(sorted(NPB_APPS))
+    if suite == "gapbs":
+        return tuple(sorted(GAPBS_KERNELS))
+    if suite in SPEC_BENCHMARKS:
+        return tuple(sorted(SPEC_BENCHMARKS[suite]))
+    raise NotFoundError(
+        f"unknown benchmark suite {suite!r}; known: "
+        f"{sorted(DEFAULT_INPUTS)}"
+    )
+
+
+def get_workload(
+    suite: str, app: str, input_size: Optional[str] = None
+) -> Workload:
+    """Build the workload for (suite, app) at an input size.
+
+    ``input_size=None`` selects the suite's default.
+    """
+    if suite not in DEFAULT_INPUTS:
+        raise NotFoundError(
+            f"unknown benchmark suite {suite!r}; known: "
+            f"{sorted(DEFAULT_INPUTS)}"
+        )
+    size = input_size or DEFAULT_INPUTS[suite]
+    if suite == "parsec":
+        return get_parsec_workload(app, size)
+    if suite == "npb":
+        return get_npb_workload(app, size)
+    if suite in SPEC_BENCHMARKS:
+        return get_spec_workload(suite, app, size)
+    # gapbs: the input is the graph scale.
+    try:
+        scale = int(size)
+    except ValueError:
+        raise ValidationError(
+            f"gapbs input size must be a graph scale integer, got "
+            f"{size!r}"
+        )
+    return get_gapbs_workload(app, scale)
+
+
+def broken_reason(suite: str, app: str) -> Optional[str]:
+    """Non-None when the benchmark is known-broken (fails at run time)."""
+    if suite == "parsec":
+        parsec_app = PARSEC_APPS.get(app)
+        if parsec_app is not None and parsec_app.broken:
+            return parsec_app.broken_reason
+    return None
+
+
+def installed_benchmarks(metadata: Dict) -> Dict[str, str]:
+    """Map app → suite for the benchmarks built into a disk image."""
+    return {
+        entry["app"]: entry["suite"]
+        for entry in metadata.get("benchmarks", [])
+    }

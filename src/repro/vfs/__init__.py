@@ -1,0 +1,21 @@
+"""A virtual filesystem and disk-image format.
+
+Real gem5 experiments boot from multi-gigabyte qcow2/raw disk images holding
+an OS userland and pre-installed benchmarks.  The reproduction replaces them
+with :class:`DiskImage`: a serializable tree of virtual files plus metadata
+describing what was installed.  The simulator "mounts" these images, the
+packer builds them, and gem5art hashes them like any other artifact.
+"""
+
+from repro.vfs.path import normalize, split, join
+from repro.vfs.node import VirtualFile, VirtualDirectory
+from repro.vfs.image import DiskImage
+
+__all__ = [
+    "normalize",
+    "split",
+    "join",
+    "VirtualFile",
+    "VirtualDirectory",
+    "DiskImage",
+]

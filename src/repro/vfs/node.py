@@ -1,0 +1,113 @@
+"""VFS node types: files and directories."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, Union
+
+from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.common.hashing import md5_bytes
+
+
+class VirtualFile:
+    """A file in the virtual filesystem: bytes plus an executable flag."""
+
+    def __init__(self, content: bytes = b"", executable: bool = False):
+        if not isinstance(content, bytes):
+            raise ValidationError("file content must be bytes")
+        self.content = content
+        self.executable = executable
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+    def content_hash(self) -> str:
+        return md5_bytes(self.content)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "file",
+            "content": self.content,
+            "executable": self.executable,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VirtualFile":
+        return cls(
+            content=data["content"], executable=data.get("executable", False)
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, VirtualFile)
+            and self.content == other.content
+            and self.executable == other.executable
+        )
+
+    def __repr__(self) -> str:
+        return f"VirtualFile({self.size} bytes)"
+
+
+class VirtualDirectory:
+    """A directory: a name → node mapping."""
+
+    def __init__(self):
+        self.children: Dict[str, Union[VirtualFile, "VirtualDirectory"]] = {}
+
+    def get(self, name: str):
+        if name not in self.children:
+            raise NotFoundError(f"no entry named {name!r}")
+        return self.children[name]
+
+    def add(self, name: str, node) -> None:
+        if "/" in name or name in ("", ".", ".."):
+            raise ValidationError(f"invalid entry name: {name!r}")
+        if name in self.children:
+            raise StateError(f"entry {name!r} already exists")
+        self.children[name] = node
+
+    def remove(self, name: str) -> None:
+        if name not in self.children:
+            raise NotFoundError(f"no entry named {name!r}")
+        del self.children[name]
+
+    def names(self):
+        return sorted(self.children)
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, VirtualFile]]:
+        """Yield (path, file) pairs for every file under this directory,
+        in sorted order for determinism."""
+        for name in self.names():
+            node = self.children[name]
+            path = f"{prefix}/{name}"
+            if isinstance(node, VirtualFile):
+                yield path, node
+            else:
+                yield from node.walk(prefix=path)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "dir",
+            "children": {
+                name: node.to_dict() for name, node in self.children.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VirtualDirectory":
+        directory = cls()
+        for name, child in data.get("children", {}).items():
+            if child["kind"] == "file":
+                directory.children[name] = VirtualFile.from_dict(child)
+            else:
+                directory.children[name] = VirtualDirectory.from_dict(child)
+        return directory
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, VirtualDirectory)
+            and self.children == other.children
+        )
+
+    def __repr__(self) -> str:
+        return f"VirtualDirectory({len(self.children)} entries)"

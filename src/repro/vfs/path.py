@@ -1,0 +1,63 @@
+"""Path handling for the virtual filesystem.
+
+All VFS paths are absolute, ``/``-separated, with no ``.``/``..`` segments
+after normalization.  Keeping this in one module means the image, packer and
+simulator all agree on path identity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ValidationError
+
+
+def normalize(path: str) -> str:
+    """Normalize a path to canonical absolute form.
+
+    >>> normalize("usr//bin/./gcc")
+    '/usr/bin/gcc'
+    >>> normalize("/a/b/../c")
+    '/a/c'
+    """
+    if not isinstance(path, str) or not path:
+        raise ValidationError("path must be a non-empty string")
+    parts: List[str] = []
+    for segment in path.split("/"):
+        if segment in ("", "."):
+            continue
+        if segment == "..":
+            if not parts:
+                raise ValidationError(f"path escapes root: {path!r}")
+            parts.pop()
+        else:
+            parts.append(segment)
+    return "/" + "/".join(parts)
+
+
+def split(path: str) -> List[str]:
+    """Return the path's segments; the root is the empty list."""
+    normalized = normalize(path)
+    if normalized == "/":
+        return []
+    return normalized[1:].split("/")
+
+
+def join(base: str, *rest: str) -> str:
+    """Join path fragments and normalize the result."""
+    combined = base
+    for fragment in rest:
+        combined = combined.rstrip("/") + "/" + fragment
+    return normalize(combined)
+
+
+def basename(path: str) -> str:
+    segments = split(path)
+    return segments[-1] if segments else ""
+
+
+def dirname(path: str) -> str:
+    segments = split(path)
+    if len(segments) <= 1:
+        return "/"
+    return "/" + "/".join(segments[:-1])

@@ -1,0 +1,128 @@
+"""Tests for the cross-run validation / diagnosis module."""
+
+import math
+
+import pytest
+
+from repro.analysis.validation import (
+    compare_stats,
+    diagnose_configs,
+    within_tolerance,
+)
+from repro.common.errors import ValidationError
+
+
+REF = {"sim_seconds": 1.0, "sim_insts": 1000.0, "cpu_utilization": 0.8}
+
+
+def test_compare_identical():
+    result = compare_stats(REF, dict(REF))
+    assert result["common"] == 3
+    assert result["mape"] == 0.0
+    assert all(error == 0.0 for error in result["errors"].values())
+
+
+def test_compare_relative_errors():
+    candidate = dict(REF, sim_seconds=1.1, sim_insts=900.0)
+    result = compare_stats(REF, candidate)
+    assert result["errors"]["sim_seconds"] == pytest.approx(0.1)
+    assert result["errors"]["sim_insts"] == pytest.approx(-0.1)
+    assert result["mape"] == pytest.approx(0.2 / 3)
+
+
+def test_compare_worst_offenders_sorted():
+    candidate = dict(REF, sim_seconds=2.0, sim_insts=1010.0)
+    worst = compare_stats(REF, candidate)["worst"]
+    assert worst[0][0] == "sim_seconds"
+
+
+def test_compare_one_sided_stats_reported():
+    candidate = dict(REF)
+    candidate["new_stat"] = 5.0
+    reference = dict(REF)
+    reference["old_stat"] = 1.0
+    result = compare_stats(reference, candidate)
+    assert result["only_reference"] == ["old_stat"]
+    assert result["only_candidate"] == ["new_stat"]
+
+
+def test_compare_zero_reference():
+    reference = {"a": 0.0, "b": 1.0}
+    same = compare_stats(reference, {"a": 0.0, "b": 1.0})
+    assert "a" not in same["errors"]
+    diverged = compare_stats(reference, {"a": 1.0, "b": 1.0})
+    assert math.isinf(diverged["errors"]["a"])
+
+
+def test_compare_disjoint_raises():
+    with pytest.raises(ValidationError):
+        compare_stats({"a": 1.0}, {"b": 1.0})
+
+
+def test_compare_ignore_prefixes():
+    reference = {"sim_seconds": 1.0, "host_seconds": 9.0}
+    candidate = {"sim_seconds": 1.0, "host_seconds": 2.0}
+    result = compare_stats(
+        reference, candidate, ignore_prefixes=("host_",)
+    )
+    assert result["mape"] == 0.0
+
+
+def test_within_tolerance():
+    candidate = dict(REF, sim_seconds=1.04)
+    assert within_tolerance(REF, candidate, tolerance=0.05)
+    assert not within_tolerance(REF, candidate, tolerance=0.01)
+    with pytest.raises(ValidationError):
+        within_tolerance(REF, REF, tolerance=-1)
+
+
+def test_diagnose_identical_configs():
+    config = {"cpu_type": "timing", "num_cpus": 8}
+    assert diagnose_configs(config, dict(config)) == []
+
+
+def test_diagnose_differing_value():
+    findings = diagnose_configs(
+        {"cpu_type": "timing"}, {"cpu_type": "o3"}
+    )
+    assert len(findings) == 1
+    assert "cpu_type" in findings[0]
+    assert "o3" in findings[0]
+
+
+def test_diagnose_hidden_defaults():
+    findings = diagnose_configs(
+        {"cpu_type": "timing", "l2_size": "1MB"},
+        {"cpu_type": "timing", "prefetcher": "stride"},
+    )
+    assert len(findings) == 2
+    assert any("hidden default" in finding for finding in findings)
+
+
+def test_version_comparison_end_to_end():
+    """The intro's use case: same experiment on two simulator releases;
+    validation quantifies the (small, memory-side) divergence."""
+    from repro.resources import build_resource
+    from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+
+    image = build_resource("parsec").image
+    results = {}
+    for version in ("20.1.0.4", "21.0"):
+        simulator = Gem5Simulator(
+            Gem5Build(version=version), SystemConfig()
+        )
+        results[version] = simulator.run_fs(
+            "4.15.18", image, benchmark="ferret"
+        )
+    comparison = compare_stats(
+        results["20.1.0.4"].stats, results["21.0"].stats
+    )
+    # v21.0 reports more memory stall time -> slower, but only slightly.
+    assert results["21.0"].sim_seconds > results["20.1.0.4"].sim_seconds
+    assert 0.0 < comparison["mape"] < 0.10
+    assert not within_tolerance(
+        results["20.1.0.4"].stats, results["21.0"].stats, tolerance=0.001
+    )
+    assert within_tolerance(
+        results["20.1.0.4"].stats, results["21.0"].stats, tolerance=0.10
+    )

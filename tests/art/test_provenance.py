@@ -1,0 +1,116 @@
+"""Tests for provenance queries (who used what, what breaks what)."""
+
+import pytest
+
+from repro.art import (
+    ArtifactDB,
+    Gem5Run,
+    register_disk_image,
+    register_gem5_binary,
+    register_kernel_binary,
+    register_repo,
+)
+from repro.art.provenance import (
+    artifact_consumers,
+    impact_of,
+    provenance_chain,
+    runs_using_artifact,
+)
+from repro.common.errors import NotFoundError
+from repro.guest import get_kernel
+from repro.resources import build_resource
+from repro.sim import Gem5Build
+
+
+@pytest.fixture
+def world():
+    db = ArtifactDB()
+    gem5_repo = register_repo(db, "gem5")
+    resources_repo = register_repo(db, "gem5-resources", version="r1")
+    gem5 = register_gem5_binary(db, Gem5Build(), inputs=[gem5_repo])
+    kernel = register_kernel_binary(db, get_kernel("4.15.18"))
+    disk = register_disk_image(
+        db, build_resource("parsec").image, inputs=[resources_repo]
+    )
+    runs = [
+        Gem5Run.create_fs_run(
+            db, gem5, gem5_repo, resources_repo, kernel, disk,
+            benchmark="ferret", num_cpus=1,
+        ),
+        Gem5Run.create_fs_run(
+            db, gem5, gem5_repo, resources_repo, kernel, disk,
+            benchmark="vips", num_cpus=1,
+        ),
+    ]
+    return dict(
+        db=db, gem5_repo=gem5_repo, resources_repo=resources_repo,
+        gem5=gem5, kernel=kernel, disk=disk, runs=runs,
+    )
+
+
+def test_runs_using_artifact(world):
+    hits = runs_using_artifact(world["db"], world["disk"].id)
+    assert len(hits) == 2
+    assert runs_using_artifact(world["db"], world["kernel"].id)
+    with pytest.raises(NotFoundError):
+        runs_using_artifact(world["db"], "missing")
+
+
+def test_artifact_consumers(world):
+    consumers = artifact_consumers(world["db"], world["gem5_repo"].id)
+    assert [c["name"] for c in consumers] == ["gem5"]
+    assert artifact_consumers(world["db"], world["gem5"].id) == []
+
+
+def test_provenance_chain_dependency_first(world):
+    chain = provenance_chain(world["db"], world["gem5"].id)
+    names = [doc["name"] for doc in chain]
+    assert names == ["gem5", "gem5"]  # repo first, then the binary
+    assert chain[0]["type"] == "git repo"
+    assert chain[1]["type"] == "gem5 binary"
+
+
+def test_provenance_chain_of_leaf(world):
+    chain = provenance_chain(world["db"], world["kernel"].id)
+    assert len(chain) == 1
+
+
+def test_impact_of_repo_reaches_runs(world):
+    # The resources repo feeds the disk image, which feeds both runs.
+    impact = impact_of(world["db"], world["resources_repo"].id)
+    assert impact["artifacts"] == 1  # the disk image
+    assert impact["runs"] == 2
+
+
+def test_impact_of_kernel_direct_only(world):
+    impact = impact_of(world["db"], world["kernel"].id)
+    assert impact["artifacts"] == 0
+    assert impact["runs"] == 2
+
+
+def test_series_geomean():
+    from repro.analysis import Series
+    from repro.common.errors import ValidationError
+
+    series = Series("sp", {"a": 2.0, "b": 8.0})
+    assert series.geomean() == pytest.approx(4.0)
+    assert Series("one", {"x": 1.0}).geomean() == 1.0
+    with pytest.raises(ValidationError):
+        Series("bad", {"x": 0.0}).geomean()
+    with pytest.raises(ValidationError):
+        Series("empty").geomean()
+
+
+def test_engine_surfaces_cache_stats():
+    from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+
+    image = build_resource("parsec").image
+    simulator = Gem5Simulator(Gem5Build(), SystemConfig())
+    result = simulator.run_fs("4.15.18", image, benchmark="ferret")
+    assert result.stats["system.l1d.accesses"] > 0
+    assert 0 < result.stats["system.l1d.miss_rate"] < 1
+    assert result.stats["system.mem_ctrl.bytes_read"] > 0
+    assert (
+        result.stats["system.mem_ctrl.accesses"]
+        <= result.stats["system.l1d.misses"]
+    )

@@ -1,0 +1,82 @@
+"""Tests for the artifact workflow graph (Fig 1)."""
+
+import pytest
+
+from repro.art import ArtifactDB, register_gem5_binary, register_repo
+from repro.art.artifact import Artifact
+from repro.art.workflow import render_workflow, workflow_graph
+from repro.common.errors import ValidationError
+from repro.sim import Gem5Build
+
+
+@pytest.fixture
+def db():
+    return ArtifactDB()
+
+
+def test_empty_graph(db):
+    graph = workflow_graph(db)
+    assert graph == {"nodes": [], "edges": [], "order": []}
+
+
+def test_dependencies_become_edges(db):
+    repo = register_repo(db, "gem5")
+    binary = register_gem5_binary(db, Gem5Build(), inputs=[repo])
+    graph = workflow_graph(db)
+    assert (repo.id, binary.id) in graph["edges"]
+    assert graph["order"].index(repo.id) < graph["order"].index(binary.id)
+
+
+def test_diamond_dependency_order(db):
+    base = Artifact.register_artifact(
+        db, name="base", typ="t", path="p", content=b"base"
+    )
+    left = Artifact.register_artifact(
+        db, name="left", typ="t", path="p", content=b"left", inputs=[base]
+    )
+    right = Artifact.register_artifact(
+        db, name="right", typ="t", path="p", content=b"right", inputs=[base]
+    )
+    top = Artifact.register_artifact(
+        db,
+        name="top",
+        typ="t",
+        path="p",
+        content=b"top",
+        inputs=[left, right],
+    )
+    order = workflow_graph(db)["order"]
+    assert order.index(base.id) < order.index(left.id) < order.index(top.id)
+    assert order.index(base.id) < order.index(right.id) < order.index(top.id)
+
+
+def test_dangling_input_detected(db):
+    doc = {
+        "_id": "x",
+        "name": "orphan",
+        "type": "t",
+        "hash": "h1",
+        "inputs": ["missing-input"],
+    }
+    db.put_artifact(doc)
+    with pytest.raises(ValidationError):
+        workflow_graph(db)
+
+
+def test_cycle_detected(db):
+    db.put_artifact(
+        {"_id": "a", "name": "a", "type": "t", "hash": "ha", "inputs": ["b"]}
+    )
+    db.put_artifact(
+        {"_id": "b", "name": "b", "type": "t", "hash": "hb", "inputs": ["a"]}
+    )
+    with pytest.raises(ValidationError):
+        workflow_graph(db)
+
+
+def test_render_workflow(db):
+    repo = register_repo(db, "gem5")
+    register_gem5_binary(db, Gem5Build(), inputs=[repo])
+    text = render_workflow(db)
+    assert "gem5 (git repo)" in text
+    assert "<- gem5" in text

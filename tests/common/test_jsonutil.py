@@ -1,0 +1,64 @@
+"""Tests for repro.common.jsonutil round-tripping and canonical form."""
+
+import datetime
+
+from hypothesis import given, strategies as st
+
+from repro.common.jsonutil import canonical_dumps, dumps, loads
+
+
+def test_roundtrip_basic_types():
+    value = {"a": 1, "b": [1.5, "x", None, True]}
+    assert loads(dumps(value)) == value
+
+
+def test_roundtrip_datetime():
+    now = datetime.datetime(2021, 3, 14, 15, 9, 26)
+    assert loads(dumps({"t": now})) == {"t": now}
+
+
+def test_roundtrip_bytes():
+    value = {"blob": b"\x00\x01binary\xff"}
+    assert loads(dumps(value)) == value
+
+
+def test_roundtrip_set():
+    value = {"tags": {"x", "y"}}
+    assert loads(dumps(value)) == value
+
+
+def test_tuple_becomes_list():
+    assert loads(dumps((1, 2))) == [1, 2]
+
+
+def test_canonical_sorted_keys():
+    one = canonical_dumps({"b": 1, "a": 2})
+    two = canonical_dumps({"a": 2, "b": 1})
+    assert one == two
+    assert one.index('"a"') < one.index('"b"')
+
+
+def test_canonical_no_whitespace():
+    assert " " not in canonical_dumps({"a": [1, 2], "b": {"c": 3}})
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@given(json_values)
+def test_roundtrip_property(value):
+    assert loads(dumps(value)) == value
+
+
+@given(json_values)
+def test_canonical_is_deterministic(value):
+    assert canonical_dumps(value) == canonical_dumps(value)

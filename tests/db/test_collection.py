@@ -1,0 +1,185 @@
+"""Tests for Collection CRUD, indexes, and update operators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import DuplicateError, ValidationError
+from repro.db.collection import Collection
+
+
+@pytest.fixture
+def coll():
+    return Collection("artifacts")
+
+
+def test_insert_assigns_id(coll):
+    doc_id = coll.insert_one({"name": "gem5"})
+    assert coll.find_one({"_id": doc_id})["name"] == "gem5"
+
+
+def test_insert_preserves_given_id(coll):
+    coll.insert_one({"_id": "fixed", "name": "gem5"})
+    assert coll.find_one({"_id": "fixed"}) is not None
+
+
+def test_insert_duplicate_id_raises(coll):
+    coll.insert_one({"_id": "x"})
+    with pytest.raises(DuplicateError):
+        coll.insert_one({"_id": "x"})
+
+
+def test_insert_rejects_non_dict(coll):
+    with pytest.raises(ValidationError):
+        coll.insert_one(["not", "a", "doc"])
+
+
+def test_insert_many_and_len(coll):
+    ids = coll.insert_many([{"n": i} for i in range(5)])
+    assert len(ids) == 5
+    assert len(coll) == 5
+
+
+def test_returned_documents_are_copies(coll):
+    coll.insert_one({"_id": "x", "nested": {"a": 1}})
+    doc = coll.find_one({"_id": "x"})
+    doc["nested"]["a"] = 999
+    assert coll.find_one({"_id": "x"})["nested"]["a"] == 1
+
+
+def test_inserted_document_is_copied(coll):
+    original = {"_id": "x", "list": [1]}
+    coll.insert_one(original)
+    original["list"].append(2)
+    assert coll.find_one({"_id": "x"})["list"] == [1]
+
+
+def test_find_with_query_sort_limit(coll):
+    coll.insert_many([{"v": i} for i in (3, 1, 2)])
+    docs = coll.find({"v": {"$gte": 2}}, sort=[("v", -1)], limit=1)
+    assert [d["v"] for d in docs] == [3]
+
+
+def test_find_with_projection(coll):
+    coll.insert_one({"_id": "x", "a": 1, "b": 2})
+    assert coll.find({}, fields=["a"]) == [{"_id": "x", "a": 1}]
+
+
+def test_count_and_distinct(coll):
+    coll.insert_many([{"t": "a"}, {"t": "b"}, {"t": "a"}])
+    assert coll.count({"t": "a"}) == 2
+    assert coll.distinct("t") == ["a", "b"]
+
+
+def test_unique_index_blocks_duplicates(coll):
+    coll.create_unique_index("hash")
+    coll.insert_one({"hash": "h1"})
+    with pytest.raises(DuplicateError):
+        coll.insert_one({"hash": "h1"})
+    coll.insert_one({"hash": "h2"})
+
+
+def test_unique_index_sparse(coll):
+    coll.create_unique_index("hash")
+    coll.insert_one({"name": "a"})
+    coll.insert_one({"name": "b"})  # both missing "hash": allowed
+
+
+def test_unique_index_on_existing_violation(coll):
+    coll.insert_many([{"h": 1}, {"h": 1}])
+    with pytest.raises(DuplicateError):
+        coll.create_unique_index("h")
+
+
+def test_update_set_and_inc(coll):
+    coll.insert_one({"_id": "x", "count": 1})
+    assert coll.update_one({"_id": "x"}, {"$set": {"state": "done"}})
+    assert coll.update_one({"_id": "x"}, {"$inc": {"count": 2}})
+    doc = coll.find_one({"_id": "x"})
+    assert doc["state"] == "done"
+    assert doc["count"] == 3
+
+
+def test_update_inc_missing_field_starts_at_zero(coll):
+    coll.insert_one({"_id": "x"})
+    coll.update_one({"_id": "x"}, {"$inc": {"n": 5}})
+    assert coll.find_one({"_id": "x"})["n"] == 5
+
+
+def test_update_push(coll):
+    coll.insert_one({"_id": "x"})
+    coll.update_one({"_id": "x"}, {"$push": {"log": "started"}})
+    coll.update_one({"_id": "x"}, {"$push": {"log": "finished"}})
+    assert coll.find_one({"_id": "x"})["log"] == ["started", "finished"]
+
+
+def test_update_push_non_list_raises(coll):
+    coll.insert_one({"_id": "x", "log": "oops"})
+    with pytest.raises(ValidationError):
+        coll.update_one({"_id": "x"}, {"$push": {"log": "more"}})
+
+
+def test_update_unset(coll):
+    coll.insert_one({"_id": "x", "tmp": 1})
+    coll.update_one({"_id": "x"}, {"$unset": {"tmp": ""}})
+    assert "tmp" not in coll.find_one({"_id": "x"})
+
+
+def test_update_requires_operators(coll):
+    coll.insert_one({"_id": "x"})
+    with pytest.raises(ValidationError):
+        coll.update_one({"_id": "x"}, {"plain": "doc"})
+
+
+def test_update_nonexistent_returns_false(coll):
+    assert not coll.update_one({"_id": "nope"}, {"$set": {"a": 1}})
+
+
+def test_update_many(coll):
+    coll.insert_many([{"t": "a"}, {"t": "a"}, {"t": "b"}])
+    assert coll.update_many({"t": "a"}, {"$set": {"seen": True}}) == 2
+    assert coll.count({"seen": True}) == 2
+
+
+def test_update_cannot_violate_unique_index(coll):
+    coll.create_unique_index("h")
+    coll.insert_one({"_id": "one", "h": 1})
+    coll.insert_one({"_id": "two", "h": 2})
+    with pytest.raises(DuplicateError):
+        coll.update_one({"_id": "two"}, {"$set": {"h": 1}})
+
+
+def test_replace_one(coll):
+    coll.insert_one({"_id": "x", "old": True})
+    assert coll.replace_one({"_id": "x"}, {"new": True})
+    doc = coll.find_one({"_id": "x"})
+    assert doc == {"_id": "x", "new": True}
+
+
+def test_delete_one_and_many(coll):
+    coll.insert_many([{"t": "a"}, {"t": "a"}, {"t": "b"}])
+    assert coll.delete_one({"t": "a"})
+    assert coll.count() == 2
+    assert coll.delete_many({"t": "a"}) == 1
+    assert not coll.delete_one({"t": "zzz"})
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20), max_size=30))
+def test_property_insert_then_count(values):
+    coll = Collection("prop")
+    for v in values:
+        coll.insert_one({"v": v})
+    for target in set(values):
+        assert coll.count({"v": target}) == values.count(target)
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=10), unique=True, max_size=10
+    )
+)
+def test_property_unique_index_allows_unique_values(values):
+    coll = Collection("prop")
+    coll.create_unique_index("v")
+    for v in values:
+        coll.insert_one({"v": v})
+    assert len(coll) == len(values)

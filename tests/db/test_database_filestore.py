@@ -1,0 +1,140 @@
+"""Tests for Database persistence and the FileStore blob store."""
+
+import datetime
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.db import connect
+from repro.db.database import Database
+from repro.db.filestore import FileStore
+
+
+def test_memory_database_basic():
+    db = Database("test")
+    db["runs"].insert_one({"name": "run1"})
+    assert db["runs"].count() == 1
+    assert db.collection_names() == ["runs"]
+
+
+def test_database_requires_name():
+    with pytest.raises(ValidationError):
+        Database("")
+
+
+def test_save_and_reload(tmp_path):
+    root = str(tmp_path / "dbdir")
+    db = Database("test", root=root)
+    db["artifacts"].insert_one({"_id": "a1", "name": "gem5", "v": 20})
+    db["runs"].insert_one(
+        {"_id": "r1", "when": datetime.datetime(2021, 3, 1)}
+    )
+    db.save()
+
+    reloaded = Database("test", root=root)
+    assert reloaded["artifacts"].find_one({"_id": "a1"})["name"] == "gem5"
+    assert reloaded["runs"].find_one({"_id": "r1"})["when"] == (
+        datetime.datetime(2021, 3, 1)
+    )
+
+
+def test_save_memory_database_is_noop():
+    Database("test").save()
+
+
+def test_drop_collection(tmp_path):
+    db = Database("test", root=str(tmp_path))
+    db["c"].insert_one({"x": 1})
+    db.save()
+    db.drop_collection("c")
+    assert "c" not in db.collection_names()
+    reloaded = Database("test", root=str(tmp_path))
+    assert reloaded["c"].count() == 0
+
+
+def test_describe():
+    db = Database("test")
+    db["a"].insert_many([{}, {}])
+    db["b"].insert_one({})
+    assert db.describe() == {"a": 2, "b": 1}
+
+
+def test_connect_memory():
+    db = connect("memory://")
+    assert db.root is None
+
+
+def test_connect_file(tmp_path):
+    db = connect(f"file://{tmp_path}/store")
+    db["c"].insert_one({"_id": "x"})
+    db.save()
+    again = connect(f"file://{tmp_path}/store")
+    assert again["c"].count() == 1
+
+
+def test_connect_bad_scheme():
+    with pytest.raises(ValidationError):
+        connect("mongodb://localhost")
+
+
+# ----------------------------------------------------------------- FileStore
+
+
+def test_filestore_memory_roundtrip():
+    store = FileStore(None)
+    digest = store.put_bytes(b"vmlinux contents")
+    assert store.get_bytes(digest) == b"vmlinux contents"
+    assert digest in store
+    assert len(store) == 1
+
+
+def test_filestore_disk_roundtrip(tmp_path):
+    store = FileStore(str(tmp_path / "blobs"))
+    digest = store.put_bytes(b"disk image")
+    assert store.get_bytes(digest) == b"disk image"
+    assert store.list_ids() == [digest]
+
+
+def test_filestore_idempotent_put():
+    store = FileStore(None)
+    one = store.put_bytes(b"data")
+    two = store.put_bytes(b"data")
+    assert one == two
+    assert len(store) == 1
+
+
+def test_filestore_put_file_and_download(tmp_path):
+    store = FileStore(None)
+    source = tmp_path / "kernel.bin"
+    source.write_bytes(b"\x7fELF kernel")
+    digest = store.put_file(str(source))
+    out = tmp_path / "sub" / "kernel.out"
+    store.download_to(digest, str(out))
+    assert out.read_bytes() == b"\x7fELF kernel"
+
+
+def test_filestore_metadata_tracks_filenames(tmp_path):
+    store = FileStore(None)
+    source = tmp_path / "vmlinux"
+    source.write_bytes(b"k")
+    digest = store.put_file(str(source))
+    meta = store.metadata(digest)
+    assert meta["length"] == 1
+    assert meta["filenames"] == ["vmlinux"]
+
+
+def test_filestore_missing_blob_raises():
+    store = FileStore(None)
+    with pytest.raises(NotFoundError):
+        store.get_bytes("0" * 64)
+    with pytest.raises(NotFoundError):
+        store.metadata("0" * 64)
+
+
+def test_database_filestore_persists(tmp_path):
+    root = str(tmp_path / "db")
+    db = Database("test", root=root)
+    digest = db.files.put_bytes(b"image")
+    db.save()
+    reloaded = Database("test", root=root)
+    assert reloaded.files.get_bytes(digest) == b"image"

@@ -1,0 +1,199 @@
+"""Tests for the Mongo-style query evaluator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.db.query import matches, project, sort_documents
+
+
+DOC = {
+    "name": "gem5",
+    "type": "binary",
+    "version": 20,
+    "tags": ["x86", "opt"],
+    "git": {"hash": "abc123", "url": "https://gem5"},
+}
+
+
+def test_empty_query_matches():
+    assert matches(DOC, {})
+
+
+def test_implicit_equality():
+    assert matches(DOC, {"name": "gem5"})
+    assert not matches(DOC, {"name": "linux"})
+
+
+def test_dotted_path():
+    assert matches(DOC, {"git.hash": "abc123"})
+    assert not matches(DOC, {"git.hash": "zzz"})
+    assert not matches(DOC, {"git.missing.deeper": 1})
+
+
+def test_eq_ne():
+    assert matches(DOC, {"version": {"$eq": 20}})
+    assert matches(DOC, {"version": {"$ne": 21}})
+    assert not matches(DOC, {"version": {"$ne": 20}})
+
+
+def test_comparisons():
+    assert matches(DOC, {"version": {"$gt": 19}})
+    assert matches(DOC, {"version": {"$gte": 20}})
+    assert matches(DOC, {"version": {"$lt": 21}})
+    assert matches(DOC, {"version": {"$lte": 20}})
+    assert not matches(DOC, {"version": {"$gt": 20}})
+
+
+def test_comparison_of_missing_field_is_false():
+    assert not matches(DOC, {"nope": {"$gt": 0}})
+
+
+def test_comparison_type_mismatch_is_false():
+    assert not matches(DOC, {"name": {"$gt": 3}})
+
+
+def test_in_nin():
+    assert matches(DOC, {"name": {"$in": ["gem5", "linux"]}})
+    assert matches(DOC, {"name": {"$nin": ["linux"]}})
+    assert not matches(DOC, {"name": {"$in": ["linux"]}})
+
+
+def test_in_on_array_field_matches_any_element():
+    assert matches(DOC, {"tags": {"$in": ["x86"]}})
+    assert not matches(DOC, {"tags": {"$in": ["arm"]}})
+
+
+def test_array_equality_by_membership():
+    assert matches(DOC, {"tags": "x86"})
+
+
+def test_exists():
+    assert matches(DOC, {"name": {"$exists": True}})
+    assert matches(DOC, {"nope": {"$exists": False}})
+    assert not matches(DOC, {"nope": {"$exists": True}})
+
+
+def test_regex():
+    assert matches(DOC, {"git.url": {"$regex": r"^https://"}})
+    assert not matches(DOC, {"git.url": {"$regex": r"^ftp://"}})
+    assert not matches(DOC, {"version": {"$regex": "2"}})
+
+
+def test_not():
+    assert matches(DOC, {"version": {"$not": {"$gt": 30}}})
+    assert not matches(DOC, {"version": {"$not": {"$gt": 10}}})
+
+
+def test_and_or_nor():
+    assert matches(DOC, {"$and": [{"name": "gem5"}, {"version": 20}]})
+    assert matches(DOC, {"$or": [{"name": "wrong"}, {"version": 20}]})
+    assert not matches(DOC, {"$or": [{"name": "wrong"}, {"version": 1}]})
+    assert matches(DOC, {"$nor": [{"name": "wrong"}]})
+
+
+def test_unknown_operator_raises():
+    with pytest.raises(ValidationError):
+        matches(DOC, {"name": {"$frobnicate": 1}})
+    with pytest.raises(ValidationError):
+        matches(DOC, {"$frobnicate": []})
+
+
+def test_sort_ascending_descending():
+    docs = [{"v": 3}, {"v": 1}, {"v": 2}]
+    assert [d["v"] for d in sort_documents(docs, [("v", 1)])] == [1, 2, 3]
+    assert [d["v"] for d in sort_documents(docs, [("v", -1)])] == [3, 2, 1]
+
+
+def test_sort_multi_key_stability():
+    docs = [
+        {"a": 1, "b": 2},
+        {"a": 0, "b": 1},
+        {"a": 1, "b": 1},
+    ]
+    ordered = sort_documents(docs, [("a", 1), ("b", -1)])
+    assert ordered == [
+        {"a": 0, "b": 1},
+        {"a": 1, "b": 2},
+        {"a": 1, "b": 1},
+    ]
+
+
+def test_sort_missing_fields_first():
+    docs = [{"v": 1}, {}]
+    assert sort_documents(docs, [("v", 1)])[0] == {}
+
+
+def test_sort_invalid_direction():
+    with pytest.raises(ValidationError):
+        sort_documents([], [("v", 0)])
+
+
+def test_project():
+    out = project(dict(DOC, _id="x"), ["name", "git.hash"])
+    assert out == {"_id": "x", "name": "gem5", "git": {"hash": "abc123"}}
+
+
+def test_project_missing_field_skipped():
+    assert project({"a": 1}, ["b"]) == {}
+
+
+simple_docs = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]),
+    st.integers(min_value=-5, max_value=5),
+    max_size=3,
+)
+
+
+@given(simple_docs, st.integers(min_value=-5, max_value=5))
+def test_property_eq_equivalent_to_implicit(doc, value):
+    assert matches(doc, {"a": value}) == matches(doc, {"a": {"$eq": value}})
+
+
+@given(simple_docs, st.integers(min_value=-5, max_value=5))
+def test_property_not_inverts(doc, value):
+    if "a" in doc:
+        direct = matches(doc, {"a": {"$gt": value}})
+        inverted = matches(doc, {"a": {"$not": {"$gt": value}}})
+        assert direct != inverted
+
+
+@given(st.lists(simple_docs, max_size=8))
+def test_property_sort_is_ordered(docs):
+    ordered = sort_documents(docs, [("a", 1)])
+    values = [d["a"] for d in ordered if "a" in d]
+    assert values == sorted(values)
+
+
+def test_size_operator():
+    assert matches(DOC, {"tags": {"$size": 2}})
+    assert not matches(DOC, {"tags": {"$size": 3}})
+    assert not matches(DOC, {"name": {"$size": 1}})  # not an array
+    assert not matches(DOC, {"missing": {"$size": 0}})
+
+
+def test_all_operator():
+    assert matches(DOC, {"tags": {"$all": ["x86"]}})
+    assert matches(DOC, {"tags": {"$all": ["x86", "opt"]}})
+    assert not matches(DOC, {"tags": {"$all": ["x86", "arm"]}})
+    assert not matches(DOC, {"name": {"$all": ["gem5"]}})
+
+
+def test_all_requires_sequence():
+    with pytest.raises(ValidationError):
+        matches(DOC, {"tags": {"$all": "x86"}})
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), max_size=6))
+def test_property_size_matches_len(values):
+    doc = {"items": values}
+    assert matches(doc, {"items": {"$size": len(values)}})
+    assert not matches(doc, {"items": {"$size": len(values) + 1}})
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), max_size=6))
+def test_property_all_with_subset(values):
+    doc = {"items": values}
+    # Any subset of the array satisfies $all.
+    subset = values[: len(values) // 2]
+    assert matches(doc, {"items": {"$all": subset}})

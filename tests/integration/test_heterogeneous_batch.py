@@ -1,0 +1,114 @@
+"""Integration: a heterogeneous batch pool running CPU and GPU work.
+
+A realistic lab setup: big-memory CPU nodes for full-system runs and one
+GPU-capable node for GCN3 runs.  Matchmaking must route each run class to
+the right machines, and the whole mixed experiment must archive cleanly.
+"""
+
+import pytest
+
+from repro.art import (
+    ArtifactDB,
+    Gem5Run,
+    register_disk_image,
+    register_gem5_binary,
+    register_kernel_binary,
+    register_repo,
+)
+from repro.guest import get_kernel
+from repro.resources import build_resource
+from repro.scheduler import BatchSystem, JobDescription, JobState, Machine
+from repro.sim import Gem5Build
+
+
+@pytest.fixture
+def pool():
+    system = BatchSystem()
+    system.add_machine(Machine("cpu-node-0", slots=4, memory_mb=65536))
+    system.add_machine(Machine("cpu-node-1", slots=4, memory_mb=65536))
+    system.add_machine(
+        Machine(
+            "gpu-node-0",
+            slots=2,
+            memory_mb=32768,
+            attributes=(("gcn3", True),),
+        )
+    )
+    return system
+
+
+def test_mixed_experiment_routes_and_completes(pool):
+    db = ArtifactDB()
+    repo = register_repo(db, "gem5", version="v21.0")
+    cpu_binary = register_gem5_binary(db, Gem5Build(), inputs=[repo])
+    gpu_binary = register_gem5_binary(
+        db,
+        Gem5Build(version="21.0", isa="GCN3_X86"),
+        name="gem5-gcn3",
+        inputs=[repo],
+    )
+    kernel = register_kernel_binary(db, get_kernel("4.15.18"))
+    disk = register_disk_image(db, build_resource("parsec").image)
+
+    fs_runs = [
+        Gem5Run.create_fs_run(
+            db, cpu_binary, repo, repo, kernel, disk,
+            benchmark="swaptions", num_cpus=1,
+        )
+        for _ in range(3)
+    ]
+    gpu_runs = [
+        Gem5Run.create_gpu_run(
+            db, gpu_binary, repo,
+            workload=name, register_allocator="dynamic",
+        )
+        for name in ("FAMutex", "MatrixTranspose")
+    ]
+
+    fs_jobs = [
+        pool.submit(
+            JobDescription(
+                executable=run.run, requirements={"memory_mb": 65536}
+            )
+        )
+        for run in fs_runs
+    ]
+    gpu_jobs = [
+        pool.submit(
+            JobDescription(executable=run.run, requirements={"gcn3": True})
+        )
+        for run in gpu_runs
+    ]
+    pool.wait_all(timeout=60)
+
+    for job in fs_jobs:
+        assert job.state is JobState.COMPLETED
+        assert job.machine.startswith("cpu-node-")
+        assert job.result["success"]
+    for job in gpu_jobs:
+        assert job.state is JobState.COMPLETED
+        assert job.machine == "gpu-node-0"
+        assert job.result["shader_ticks"] > 0
+
+    # Everything landed in the database regardless of where it ran.
+    done = db.query_runs({"status": "done"})
+    assert len(done) == 5
+
+
+def test_impossible_requirement_is_held_not_lost(pool):
+    db = ArtifactDB()
+    repo = register_repo(db, "gem5")
+    binary = register_gem5_binary(db, Gem5Build(), inputs=[repo])
+    kernel = register_kernel_binary(db, get_kernel("4.15.18"))
+    disk = register_disk_image(db, build_resource("boot-exit").image)
+    run = Gem5Run.create_fs_run(
+        db, binary, repo, repo, kernel, disk, benchmark=None
+    )
+    job = pool.submit(
+        JobDescription(
+            executable=run.run, requirements={"memory_mb": 10**9}
+        )
+    )
+    assert job.state is JobState.HELD
+    # The run itself was never started, so its document is untouched.
+    assert db.get_run(run.run_id)["status"] == "created"

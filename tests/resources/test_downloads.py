@@ -1,0 +1,85 @@
+"""Tests for the pre-built resource repository (resources.gem5.org)."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.resources.downloads import ResourceRepository
+from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+
+
+@pytest.fixture
+def repo(tmp_path):
+    return ResourceRepository(str(tmp_path / "cache"))
+
+
+def test_fetch_builds_then_caches(repo):
+    first = repo.fetch_disk_image("boot-exit")
+    assert repo.cache_info()["builds"] == 1
+    assert repo.cache_info()["hits"] == 0
+    second = repo.fetch_disk_image("boot-exit")
+    assert second == first
+    assert repo.cache_info()["hits"] == 1
+    assert repo.cache_info()["builds"] == 1
+
+
+def test_distinct_distros_cached_separately(repo):
+    bionic = repo.fetch_disk_image("parsec", distro="ubuntu-18.04")
+    focal = repo.fetch_disk_image("parsec", distro="ubuntu-20.04")
+    assert bionic.content_hash() != focal.content_hash()
+    assert repo.cache_info()["builds"] == 2
+
+
+def test_fetched_image_is_runnable(repo):
+    image = repo.fetch_disk_image("parsec")
+    simulator = Gem5Simulator(Gem5Build(), SystemConfig())
+    result = simulator.run_fs("4.15.18", image, benchmark="swaptions")
+    assert result.ok
+
+
+def test_spec_never_served(repo):
+    with pytest.raises(ValidationError) as excinfo:
+        repo.fetch_disk_image("spec-2017")
+    assert "licens" in str(excinfo.value).lower()
+
+
+def test_non_image_resource_rejected(repo):
+    with pytest.raises(NotFoundError):
+        repo.fetch_disk_image("GCN-docker")
+    with pytest.raises(NotFoundError):
+        repo.fetch_disk_image("no-such-resource")
+
+
+def test_corrupted_cache_detected(repo, tmp_path):
+    repo.fetch_disk_image("boot-exit")
+    cache = tmp_path / "cache"
+    victim = next(p for p in cache.iterdir() if p.suffix == ".json")
+    victim.write_bytes(victim.read_bytes() + b" ")
+    with pytest.raises(ValidationError) as excinfo:
+        repo.fetch_disk_image("boot-exit")
+    assert "integrity" in str(excinfo.value)
+
+
+def test_fetch_kernel_roundtrip(repo):
+    first = repo.fetch_kernel("5.4.49")
+    second = repo.fetch_kernel("5.4.49")
+    assert first == second
+    assert b"5.4.49" in first
+    assert repo.cache_info() == {"entries": 1, "builds": 1, "hits": 1}
+
+
+def test_fetch_kernel_unknown_version(repo):
+    with pytest.raises(NotFoundError):
+        repo.fetch_kernel("2.6.18")
+
+
+def test_clear_cache(repo):
+    repo.fetch_disk_image("boot-exit")
+    repo.fetch_kernel("5.4.49")
+    assert repo.clear_cache() >= 3  # image + md5 sidecar + kernel
+    assert repo.cache_info()["entries"] == 0
+
+
+def test_available_images_listed(repo):
+    available = repo.list_available_images()
+    assert "parsec" in available
+    assert "spec-2017" not in available

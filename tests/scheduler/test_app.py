@@ -1,0 +1,174 @@
+"""Tests for the Celery-like SchedulerApp."""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import (
+    NotFoundError,
+    StateError,
+    ValidationError,
+)
+from repro.scheduler import SchedulerApp, TaskState
+
+
+@pytest.fixture
+def app():
+    application = SchedulerApp(worker_count=3)
+    yield application
+    application.shutdown()
+
+
+def test_task_registration_and_direct_call(app):
+    @app.task(name="add")
+    def add(a, b):
+        return a + b
+
+    assert add(2, 3) == 5
+    assert app.task_names() == ["add"]
+
+
+def test_duplicate_registration_rejected(app):
+    @app.task(name="dup")
+    def one():
+        return 1
+
+    with pytest.raises(ValidationError):
+
+        @app.task(name="dup")
+        def two():
+            return 2
+
+
+def test_apply_async_success(app):
+    @app.task(name="mul")
+    def mul(a, b):
+        return a * b
+
+    result = mul.apply_async(args=(6, 7))
+    assert result.get(timeout=5) == 42
+    assert result.state is TaskState.SUCCESS
+    assert result.successful()
+    assert result.runtime() >= 0
+
+
+def test_apply_async_kwargs(app):
+    @app.task(name="kw")
+    def kw(a, b=0):
+        return a - b
+
+    assert kw.apply_async(args=(10,), kwargs={"b": 4}).get(timeout=5) == 6
+
+
+def test_failure_captures_traceback(app):
+    @app.task(name="boom")
+    def boom():
+        raise RuntimeError("kaboom")
+
+    result = boom.apply_async()
+    with pytest.raises(StateError) as excinfo:
+        result.get(timeout=5)
+    assert "kaboom" in str(excinfo.value)
+    assert result.state is TaskState.FAILURE
+
+
+def test_timeout(app):
+    @app.task(name="slow")
+    def slow():
+        time.sleep(5)
+
+    result = slow.apply_async(timeout=0.1)
+    with pytest.raises(StateError):
+        result.get(timeout=5)
+    assert result.state is TaskState.TIMEOUT
+
+
+def test_retry_until_success(app):
+    attempts = {"n": 0}
+    lock = threading.Lock()
+
+    @app.task(name="flaky", max_retries=3)
+    def flaky():
+        with lock:
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise RuntimeError("transient")
+        return "finally"
+
+    result = flaky.apply_async()
+    assert result.get(timeout=5) == "finally"
+    assert attempts["n"] == 3
+    assert app.backend.record(result.task_id)["retries"] == 2
+
+
+def test_retries_exhausted(app):
+    @app.task(name="always-bad", max_retries=2)
+    def always_bad():
+        raise RuntimeError("permanent")
+
+    result = always_bad.apply_async()
+    with pytest.raises(StateError):
+        result.get(timeout=5)
+    assert result.state is TaskState.FAILURE
+    assert app.backend.record(result.task_id)["retries"] == 2
+
+
+def test_revoke_queued_task():
+    app = SchedulerApp(worker_count=1)
+    try:
+        gate = threading.Event()
+
+        @app.task(name="blocker")
+        def blocker():
+            gate.wait(timeout=5)
+            return "unblocked"
+
+        @app.task(name="victim")
+        def victim():
+            return "ran"
+
+        first = blocker.apply_async()
+        second = victim.apply_async()
+        app.revoke(second)
+        gate.set()
+        first.get(timeout=5)
+        with pytest.raises(StateError):
+            second.get(timeout=5)
+        assert second.state is TaskState.REVOKED
+    finally:
+        app.shutdown()
+
+
+def test_many_parallel_tasks(app):
+    @app.task(name="square")
+    def square(x):
+        return x * x
+
+    results = [square.apply_async(args=(i,)) for i in range(50)]
+    assert [r.get(timeout=10) for r in results] == [
+        i * i for i in range(50)
+    ]
+
+
+def test_send_task_unknown_name(app):
+    with pytest.raises(NotFoundError):
+        app.send_task("missing")
+
+
+def test_worker_count_validated():
+    with pytest.raises(ValidationError):
+        SchedulerApp(worker_count=0)
+
+
+def test_get_without_timeout_blocks_until_done(app):
+    @app.task(name="quick")
+    def quick():
+        return 1
+
+    assert quick.apply_async().get() == 1
+
+
+def test_unknown_task_id_in_backend(app):
+    with pytest.raises(NotFoundError):
+        app.backend.state("no-such-id")

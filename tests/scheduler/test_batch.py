@@ -1,0 +1,163 @@
+"""Tests for the Condor-style batch system."""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import StateError, ValidationError
+from repro.scheduler.batch import (
+    BatchSystem,
+    JobDescription,
+    JobState,
+    Machine,
+)
+
+
+def make_pool(*machines):
+    pool = BatchSystem()
+    for machine in machines or (Machine("node0", slots=2),):
+        pool.add_machine(machine)
+    return pool
+
+
+def test_machine_validation():
+    with pytest.raises(ValidationError):
+        Machine("bad", slots=0)
+    with pytest.raises(ValidationError):
+        Machine("bad", memory_mb=0)
+
+
+def test_machine_matching():
+    machine = Machine(
+        "gpu-node", slots=2, memory_mb=32768, attributes=(("gpu", True),)
+    )
+    assert machine.satisfies({})
+    assert machine.satisfies({"memory_mb": 16384})
+    assert machine.satisfies({"gpu": True})
+    assert not machine.satisfies({"memory_mb": 65536})
+    assert not machine.satisfies({"gpu": False})
+    assert not machine.satisfies({"infiniband": True})
+
+
+def test_duplicate_machine_rejected():
+    pool = make_pool()
+    with pytest.raises(ValidationError):
+        pool.add_machine(Machine("node0"))
+
+
+def test_submit_and_get():
+    pool = make_pool()
+    job = pool.submit(JobDescription(executable=lambda: 41 + 1))
+    assert job.get(timeout=5) == 42
+    assert job.state is JobState.COMPLETED
+    assert job.machine == "node0"
+
+
+def test_job_failure_captured():
+    pool = make_pool()
+
+    def bad():
+        raise RuntimeError("exploded")
+
+    job = pool.submit(JobDescription(executable=bad))
+    assert job.wait(timeout=5) is JobState.FAILED
+    with pytest.raises(StateError) as excinfo:
+        job.get(timeout=5)
+    assert "exploded" in str(excinfo.value)
+
+
+def test_unmatchable_job_held():
+    pool = make_pool(Machine("small", memory_mb=1024))
+    job = pool.submit(
+        JobDescription(executable=lambda: 1, requirements={"memory_mb": 99999})
+    )
+    assert job.state is JobState.HELD
+    with pytest.raises(StateError):
+        job.get(timeout=1)
+
+
+def test_requirements_route_to_matching_machine():
+    pool = make_pool(
+        Machine("cpu-node", slots=4),
+        Machine("gpu-node", slots=1, attributes=(("gpu", True),)),
+    )
+    job = pool.submit(
+        JobDescription(executable=lambda: "ran", requirements={"gpu": True})
+    )
+    assert job.get(timeout=5) == "ran"
+    assert job.machine == "gpu-node"
+
+
+def test_slot_limit_respected():
+    pool = make_pool(Machine("node0", slots=2))
+    active = []
+    peak = []
+    lock = threading.Lock()
+
+    def tracked():
+        with lock:
+            active.append(1)
+            peak.append(len(active))
+        time.sleep(0.05)
+        with lock:
+            active.pop()
+
+    jobs = [
+        pool.submit(JobDescription(executable=tracked)) for _ in range(6)
+    ]
+    for job in jobs:
+        job.wait(timeout=10)
+    assert max(peak) <= 2
+
+
+def test_priority_order():
+    """With one slot, the higher-priority job queued behind a blocker
+    runs before lower-priority ones submitted earlier."""
+    pool = make_pool(Machine("node0", slots=1))
+    gate = threading.Event()
+    order = []
+
+    blocker = pool.submit(
+        JobDescription(executable=lambda: gate.wait(timeout=5))
+    )
+    low = pool.submit(
+        JobDescription(
+            executable=lambda: order.append("low"), priority=0
+        )
+    )
+    high = pool.submit(
+        JobDescription(
+            executable=lambda: order.append("high"), priority=10
+        )
+    )
+    gate.set()
+    for job in (blocker, low, high):
+        job.wait(timeout=10)
+    assert order == ["high", "low"]
+
+
+def test_wait_all_and_queue_depth():
+    pool = make_pool(Machine("node0", slots=4))
+    for _ in range(8):
+        pool.submit(JobDescription(executable=lambda: time.sleep(0.01)))
+    pool.wait_all(timeout=10)
+    assert pool.queue_depth() == 0
+
+
+def test_total_slots():
+    pool = make_pool(Machine("a", slots=2), Machine("b", slots=3))
+    assert pool.total_slots() == 5
+
+
+def test_many_jobs_across_machines():
+    pool = make_pool(Machine("a", slots=2), Machine("b", slots=2))
+    jobs = [
+        pool.submit(JobDescription(executable=lambda i=i: i * i))
+        for i in range(20)
+    ]
+    assert [job.get(timeout=10) for job in jobs] == [
+        i * i for i in range(20)
+    ]
+    machines_used = {job.machine for job in jobs}
+    assert machines_used <= {"a", "b"}

@@ -1,0 +1,95 @@
+"""Tests for the multiprocessing-style SimplePool."""
+
+import time
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.scheduler import SimplePool
+
+
+def test_apply_async_and_get():
+    with SimplePool(processes=2) as pool:
+        result = pool.apply_async(lambda a, b: a + b, (1, 2))
+        assert result.get(timeout=5) == 3
+        assert result.ready()
+        assert result.successful()
+
+
+def test_map_preserves_order():
+    with SimplePool(processes=4) as pool:
+        def invert_delay(x):
+            time.sleep(0.01 * (5 - x))
+            return x * 10
+
+        assert pool.map(invert_delay, range(5)) == [0, 10, 20, 30, 40]
+
+
+def test_error_propagates():
+    def bad():
+        raise ValueError("nope")
+
+    with SimplePool(processes=1) as pool:
+        result = pool.apply_async(bad)
+        with pytest.raises(ValueError):
+            result.get(timeout=5)
+        assert not result.successful()
+
+
+def test_successful_before_ready_raises():
+    pool = SimplePool(processes=1)
+    gate_result = pool.apply_async(time.sleep, (0.2,))
+    if not gate_result.ready():
+        with pytest.raises(StateError):
+            gate_result.successful()
+    pool.close()
+    pool.join()
+
+
+def test_closed_pool_rejects_submission():
+    pool = SimplePool(processes=1)
+    pool.close()
+    with pytest.raises(StateError):
+        pool.apply_async(lambda: 1)
+    pool.join()
+
+
+def test_join_requires_close():
+    pool = SimplePool(processes=1)
+    with pytest.raises(StateError):
+        pool.join()
+    pool.close()
+    pool.join()
+
+
+def test_concurrency_bounded():
+    active = []
+    peak = []
+    import threading
+
+    lock = threading.Lock()
+
+    def tracked(_):
+        with lock:
+            active.append(1)
+            peak.append(len(active))
+        time.sleep(0.05)
+        with lock:
+            active.pop()
+
+    with SimplePool(processes=2) as pool:
+        pool.map(tracked, range(6))
+    assert max(peak) <= 2
+
+
+def test_pool_requires_workers():
+    with pytest.raises(StateError):
+        SimplePool(processes=0)
+
+
+def test_get_timeout():
+    with SimplePool(processes=1) as pool:
+        result = pool.apply_async(time.sleep, (1.0,))
+        with pytest.raises(StateError):
+            result.get(timeout=0.05)
+        result.get(timeout=5)

@@ -1,0 +1,65 @@
+"""Tests for the task state machine and broker."""
+
+from hypothesis import given, strategies as st
+
+from repro.scheduler.broker import Broker, TaskMessage
+from repro.scheduler.states import (
+    ALLOWED_TRANSITIONS,
+    TaskState,
+    can_transition,
+)
+
+
+def test_terminal_states():
+    terminal = {s for s in TaskState if s.is_terminal}
+    assert terminal == {
+        TaskState.SUCCESS,
+        TaskState.FAILURE,
+        TaskState.TIMEOUT,
+        TaskState.REVOKED,
+    }
+
+
+def test_pending_can_start():
+    assert can_transition(TaskState.PENDING, TaskState.STARTED)
+
+
+def test_no_transitions_out_of_terminal():
+    for state in TaskState:
+        if state.is_terminal:
+            assert ALLOWED_TRANSITIONS[state] == set()
+
+
+@given(st.sampled_from(list(TaskState)), st.sampled_from(list(TaskState)))
+def test_property_terminal_states_absorb(src, dst):
+    if src.is_terminal:
+        assert not can_transition(src, dst)
+
+
+def test_broker_fifo():
+    broker = Broker()
+    for name in ("a", "b", "c"):
+        broker.publish(TaskMessage(task_name=name))
+    assert broker.consume().task_name == "a"
+    assert broker.consume().task_name == "b"
+    assert len(broker) == 1
+
+
+def test_broker_empty_returns_none():
+    assert Broker().consume() is None
+    assert Broker().consume(timeout=0.01) is None
+
+
+def test_broker_revocation():
+    broker = Broker()
+    message = TaskMessage(task_name="x")
+    broker.publish(message)
+    broker.revoke(message.task_id)
+    assert broker.is_revoked(message.task_id)
+    assert not broker.is_revoked("other")
+
+
+def test_message_ids_unique():
+    assert TaskMessage(task_name="x").task_id != (
+        TaskMessage(task_name="x").task_id
+    )

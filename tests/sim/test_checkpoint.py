@@ -1,0 +1,131 @@
+"""Tests for boot checkpoints (the hack-back workflow)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.resources import build_resource
+from repro.sim import (
+    Checkpoint,
+    Gem5Build,
+    Gem5Simulator,
+    SimulationStatus,
+    SystemConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def parsec_image():
+    return build_resource("parsec", distro="ubuntu-18.04").image
+
+
+def test_take_checkpoint(parsec_image):
+    simulator = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="atomic"))
+    checkpoint, result = simulator.take_boot_checkpoint(
+        "4.15.18", parsec_image
+    )
+    assert result.ok
+    assert checkpoint.boot_seconds == result.boot_seconds
+    assert checkpoint.kernel_version == "4.15.18"
+    assert checkpoint.disk_image_hash == parsec_image.content_hash()
+    assert len(checkpoint.checkpoint_id) == 32
+
+
+def test_checkpoint_fails_like_a_boot(parsec_image):
+    """Taking a checkpoint on an unsupported config reports the same
+    failure a plain boot would."""
+    simulator = Gem5Simulator(
+        Gem5Build(), SystemConfig(cpu_type="timing", num_cpus=2)
+    )
+    checkpoint, result = simulator.take_boot_checkpoint(
+        "4.15.18", parsec_image
+    )
+    assert checkpoint is None
+    assert result.status is SimulationStatus.UNSUPPORTED
+
+
+def test_restore_skips_boot(parsec_image):
+    atomic = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="atomic"))
+    checkpoint, _ = atomic.take_boot_checkpoint("4.15.18", parsec_image)
+
+    timing = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="timing"))
+    cold = timing.run_fs("4.15.18", parsec_image, benchmark="ferret")
+    restored = timing.run_fs(
+        "4.15.18",
+        parsec_image,
+        benchmark="ferret",
+        restore_from=checkpoint,
+    )
+    assert restored.ok
+    # Boot time reported from the (cheap atomic) checkpoint, not
+    # re-simulated under the expensive timing CPU.
+    assert restored.boot_seconds == checkpoint.boot_seconds
+    assert restored.boot_seconds < cold.boot_seconds
+    # The workload itself is identical either way.
+    assert restored.workload_seconds == pytest.approx(
+        cold.workload_seconds
+    )
+
+
+def test_restore_cpu_switch_is_the_point(parsec_image):
+    """Boot under kvm, measure under O3 — the canonical gem5 pattern."""
+    kvm = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="kvm"))
+    checkpoint, _ = kvm.take_boot_checkpoint("5.4.51", parsec_image)
+    o3 = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="o3"))
+    # Note: the fault model still applies to the restored run itself.
+    result = o3.run_fs(
+        "5.4.51", parsec_image, restore_from=checkpoint,
+        boot_type="systemd",
+    )
+    assert result.ok
+
+
+def test_restore_rejects_wrong_kernel(parsec_image):
+    atomic = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="atomic"))
+    checkpoint, _ = atomic.take_boot_checkpoint("4.15.18", parsec_image)
+    with pytest.raises(ValidationError):
+        atomic.run_fs(
+            "5.4.51", parsec_image, restore_from=checkpoint
+        )
+
+
+def test_restore_rejects_wrong_image(parsec_image):
+    atomic = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="atomic"))
+    checkpoint, _ = atomic.take_boot_checkpoint("4.15.18", parsec_image)
+    other_image = build_resource("parsec", distro="ubuntu-20.04").image
+    with pytest.raises(ValidationError):
+        atomic.run_fs(
+            "4.15.18", other_image, restore_from=checkpoint
+        )
+
+
+def test_restore_rejects_wrong_platform(parsec_image):
+    atomic = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="atomic"))
+    checkpoint, _ = atomic.take_boot_checkpoint("4.15.18", parsec_image)
+    bigger = Gem5Simulator(
+        Gem5Build(),
+        SystemConfig(
+            cpu_type="timing", num_cpus=8, memory_system="MESI_Two_Level"
+        ),
+    )
+    with pytest.raises(ValidationError) as excinfo:
+        bigger.run_fs(
+            "4.15.18", parsec_image, restore_from=checkpoint
+        )
+    assert "num_cpus" in str(excinfo.value)
+
+
+def test_checkpoint_serialization_roundtrip(parsec_image):
+    atomic = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="atomic"))
+    checkpoint, _ = atomic.take_boot_checkpoint("4.15.18", parsec_image)
+    clone = Checkpoint.from_dict(checkpoint.to_dict())
+    assert clone == checkpoint
+    assert clone.checkpoint_id == checkpoint.checkpoint_id
+
+
+def test_checkpoint_id_depends_on_identity(parsec_image):
+    atomic = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="atomic"))
+    one, _ = atomic.take_boot_checkpoint("4.15.18", parsec_image)
+    two, _ = atomic.take_boot_checkpoint(
+        "4.15.18", parsec_image, boot_type="init"
+    )
+    assert one.checkpoint_id != two.checkpoint_id

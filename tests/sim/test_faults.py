@@ -1,0 +1,148 @@
+"""Tests for the gem5-v20.1 support/fault model (Fig 8's ground truth)."""
+
+import itertools
+
+import pytest
+
+from repro.guest import BOOT_TEST_KERNEL_VERSIONS
+from repro.sim.config import SystemConfig
+from repro.sim.faults import FaultClass, check_run
+
+
+def sweep():
+    """The full 480-run boot-test cross product."""
+    for boot, kernel, cpu, mem, cores in itertools.product(
+        ("init", "systemd"),
+        BOOT_TEST_KERNEL_VERSIONS,
+        ("kvm", "atomic", "timing", "o3"),
+        ("classic", "MI_example", "MESI_Two_Level"),
+        (1, 2, 4, 8),
+    ):
+        config = SystemConfig(
+            cpu_type=cpu, num_cpus=cores, memory_system=mem
+        )
+        yield boot, kernel, cpu, mem, cores, check_run(
+            "20.1.0.4", config, kernel, boot
+        )
+
+
+def test_sweep_is_480_runs():
+    assert sum(1 for _ in sweep()) == 480
+
+
+def test_kvm_always_works():
+    for boot, kernel, cpu, mem, cores, verdict in sweep():
+        if cpu == "kvm":
+            assert verdict.ok, (kernel, mem, cores, boot)
+
+
+def test_atomic_works_on_classic_fails_on_ruby():
+    for boot, kernel, cpu, mem, cores, verdict in sweep():
+        if cpu != "atomic":
+            continue
+        if mem == "classic":
+            assert verdict.ok
+        else:
+            assert verdict.fault is FaultClass.UNSUPPORTED
+            assert "atomic" in verdict.reason.lower()
+
+
+def test_timing_multicore_classic_unsupported():
+    for boot, kernel, cpu, mem, cores, verdict in sweep():
+        if cpu != "timing":
+            continue
+        if mem == "classic" and cores > 1:
+            assert verdict.fault is FaultClass.UNSUPPORTED
+        else:
+            assert verdict.ok
+
+
+def test_o3_multicore_classic_unsupported():
+    for boot, kernel, cpu, mem, cores, verdict in sweep():
+        if cpu == "o3" and mem == "classic" and cores > 1:
+            assert verdict.fault is FaultClass.UNSUPPORTED
+
+
+def o3_counts():
+    counts = {}
+    for boot, kernel, cpu, mem, cores, verdict in sweep():
+        if cpu == "o3":
+            counts[verdict.fault] = counts.get(verdict.fault, 0) + 1
+    return counts
+
+
+def test_o3_paper_counts_exact():
+    """Paper: 27 kernel panics, 11 segfaults, 4 deadlocks, remainder of
+    the 31 'other' failures are timeouts (16)."""
+    counts = o3_counts()
+    assert counts[FaultClass.KERNEL_PANIC] == 27
+    assert counts[FaultClass.SEGFAULT] == 11
+    assert counts[FaultClass.DEADLOCK] == 4
+    assert counts[FaultClass.TIMEOUT] == 16
+    assert counts[FaultClass.OK] == 32
+    assert counts[FaultClass.UNSUPPORTED] == 30
+    assert sum(counts.values()) == 120
+
+
+def test_o3_other_failures_total_31():
+    counts = o3_counts()
+    other = (
+        counts[FaultClass.SEGFAULT]
+        + counts[FaultClass.DEADLOCK]
+        + counts[FaultClass.TIMEOUT]
+    )
+    assert other == 31
+
+
+def test_deadlocks_only_on_mi_example():
+    for boot, kernel, cpu, mem, cores, verdict in sweep():
+        if verdict.fault is FaultClass.DEADLOCK:
+            assert mem == "MI_example"
+
+
+def test_o3_success_rate_near_40_percent():
+    counts = o3_counts()
+    attempted = 120 - counts[FaultClass.UNSUPPORTED]
+    rate = counts[FaultClass.OK] / attempted
+    assert 0.30 <= rate <= 0.45
+
+
+def test_fault_model_deterministic():
+    config = SystemConfig(cpu_type="o3", num_cpus=4, memory_system="MI_example")
+    one = check_run("20.1.0.4", config, "4.19.83", "systemd")
+    two = check_run("20.1.0.4", config, "4.19.83", "systemd")
+    assert one == two
+
+
+def test_verdict_carries_reason():
+    config = SystemConfig(cpu_type="timing", num_cpus=2)
+    verdict = check_run("20.1.0.4", config, "5.4.49", "init")
+    assert not verdict.ok
+    assert "classic" in verdict.reason.lower()
+
+
+def test_v21_fixes_the_segfault_cells():
+    """gem5 v21.0 resolved GEM5-782: the 11 segfault configurations
+    boot successfully on the newer release; everything else matches
+    v20.1.0.4."""
+    fixed = 0
+    for boot, kernel, cpu, mem, cores, verdict in sweep():
+        config = SystemConfig(
+            cpu_type=cpu, num_cpus=cores, memory_system=mem
+        )
+        v21 = check_run("21.0", config, kernel, boot)
+        if verdict.fault is FaultClass.SEGFAULT:
+            assert v21.ok, (kernel, mem, cores, boot)
+            fixed += 1
+        else:
+            assert v21 == verdict
+    assert fixed == 11
+
+
+def test_unparseable_version_treated_as_old():
+    config = SystemConfig(
+        cpu_type="o3", num_cpus=2, memory_system="MI_example"
+    )
+    old = check_run("20.1.0.4", config, "5.4.49", "init")
+    weird = check_run("develop", config, "5.4.49", "init")
+    assert weird == old

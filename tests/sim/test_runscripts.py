@@ -1,0 +1,114 @@
+"""Tests for the run-script parameter contracts."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.sim.runscripts import (
+    BOOT_EXIT_SCRIPT,
+    GAPBS_SCRIPT,
+    NPB_SCRIPT,
+    PARSEC_SCRIPT,
+    RUN_SCRIPTS,
+    ScriptParam,
+    get_run_script,
+)
+
+
+def test_registry():
+    assert set(RUN_SCRIPTS) == {"boot-exit", "parsec", "npb", "gapbs"}
+    assert get_run_script("parsec") is PARSEC_SCRIPT
+    with pytest.raises(ValidationError):
+        get_run_script("spec")
+
+
+def test_boot_exit_parse():
+    params = BOOT_EXIT_SCRIPT.parse(
+        ["vmlinux-5.4.49", "boot-exit.img", "atomic", "4", "init"]
+    )
+    assert params == {
+        "kernel": "vmlinux-5.4.49",
+        "disk_image": "boot-exit.img",
+        "cpu_type": "atomic",
+        "num_cpus": 4,
+        "boot_type": "init",
+        "memory_system": "classic",
+    }
+
+
+def test_optional_memory_system():
+    params = BOOT_EXIT_SCRIPT.parse(
+        ["k", "d", "o3", "2", "systemd", "MI_example"]
+    )
+    assert params["memory_system"] == "MI_example"
+
+
+def test_parsec_parse():
+    params = PARSEC_SCRIPT.parse(
+        ["vmlinux", "parsec.img", "timing", "ferret", "simmedium", "8",
+         "MESI_Two_Level"]
+    )
+    assert params["benchmark"] == "ferret"
+    assert params["num_cpus"] == 8
+
+
+def test_bad_choice_rejected():
+    with pytest.raises(ValidationError) as excinfo:
+        BOOT_EXIT_SCRIPT.parse(["k", "d", "pentium", "1", "init"])
+    assert "cpu_type" in str(excinfo.value)
+
+
+def test_bad_conversion_rejected():
+    with pytest.raises(ValidationError):
+        BOOT_EXIT_SCRIPT.parse(["k", "d", "atomic", "four", "init"])
+
+
+def test_missing_and_extra_arguments():
+    with pytest.raises(ValidationError):
+        BOOT_EXIT_SCRIPT.parse(["k", "d", "atomic"])
+    with pytest.raises(ValidationError):
+        BOOT_EXIT_SCRIPT.parse(
+            ["k", "d", "atomic", "1", "init", "classic", "surplus"]
+        )
+
+
+def test_npb_and_gapbs_sizes():
+    assert NPB_SCRIPT.parse(
+        ["k", "d", "timing", "cg", "B", "8", "MESI_Two_Level"]
+    )["input_size"] == "B"
+    assert GAPBS_SCRIPT.parse(
+        ["k", "d", "timing", "bfs", "20", "8", "MESI_Two_Level"]
+    )["input_size"] == 20
+    with pytest.raises(ValidationError):
+        NPB_SCRIPT.parse(["k", "d", "timing", "cg", "D", "8"])
+
+
+def test_command_line_documentation():
+    command = BOOT_EXIT_SCRIPT.command_line(
+        "build/X86/gem5.opt",
+        ["vmlinux-5.4.49", "boot-exit.img", "kvm", "8", "systemd"],
+    )
+    assert command == (
+        "build/X86/gem5.opt configs/run_exit.py vmlinux-5.4.49 "
+        "boot-exit.img kvm 8 systemd"
+    )
+
+
+def test_command_line_validates():
+    with pytest.raises(ValidationError):
+        BOOT_EXIT_SCRIPT.command_line(
+            "gem5.opt", ["k", "d", "bad-cpu", "1", "init"]
+        )
+
+
+def test_usage_rendering():
+    usage = BOOT_EXIT_SCRIPT.usage()
+    assert usage.startswith("configs/run_exit.py")
+    assert "<kernel>" in usage
+    assert "[memory_system" in usage
+    assert "cpu_type{kvm|atomic|timing|o3}" in usage
+
+
+def test_script_param_default_used():
+    param = ScriptParam("opt", required=False, default=7, convert=int)
+    assert param.parse(None) == 7
+    assert param.parse("9") == 9

@@ -1,0 +1,194 @@
+"""Tests for the NPB and GAPBS workload models and the suite registry."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.art import (
+    ArtifactDB,
+    Gem5Run,
+    register_disk_image,
+    register_gem5_binary,
+    register_kernel_binary,
+    register_repo,
+)
+from repro.guest import get_kernel
+from repro.resources import build_resource
+from repro.sim import Gem5Build, Gem5Simulator, SystemConfig
+from repro.sim.workload import (
+    GAPBS_KERNELS,
+    NPB_APPS,
+    NPB_CLASSES,
+    get_gapbs_workload,
+    get_npb_workload,
+    get_workload,
+    suite_apps,
+)
+
+
+# --------------------------------------------------------------------- NPB
+
+
+def test_npb_eight_benchmarks():
+    assert set(NPB_APPS) == {"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"}
+
+
+def test_npb_classes_grow():
+    ordered = [NPB_CLASSES[c] for c in ("S", "W", "A", "B", "C")]
+    assert ordered == sorted(ordered)
+
+
+def test_npb_workload_structure():
+    workload = get_npb_workload("cg", "A")
+    assert workload.name == "npb.cg.A"
+    assert workload.phases[0].parallelism == 1
+    assert workload.phases[1].parallelism > 8
+
+
+def test_npb_class_scales_instructions():
+    small = get_npb_workload("ft", "S").total_instructions()
+    big = get_npb_workload("ft", "C").total_instructions()
+    assert big > small * 100
+
+
+def test_npb_ep_is_compute_bound():
+    ep = NPB_APPS["ep"]
+    assert ep.locality > 0.95
+    assert ep.shared_fraction == 0.0
+    cg = NPB_APPS["cg"]
+    assert cg.locality < ep.locality
+
+
+def test_npb_unknown():
+    with pytest.raises(NotFoundError):
+        get_npb_workload("ua")
+    with pytest.raises(ValidationError):
+        get_npb_workload("cg", "D")
+
+
+# ------------------------------------------------------------------- GAPBS
+
+
+def test_gapbs_six_kernels():
+    assert set(GAPBS_KERNELS) == {"bc", "bfs", "cc", "pr", "sssp", "tc"}
+
+
+def test_gapbs_scale_grows_everything():
+    small = get_gapbs_workload("bfs", 12)
+    big = get_gapbs_workload("bfs", 20)
+    assert big.total_instructions() > small.total_instructions()
+    assert (
+        big.phases[1].working_set_bytes
+        > small.phases[1].working_set_bytes
+    )
+
+
+def test_gapbs_graph_is_shared_and_cache_hostile():
+    workload = get_gapbs_workload("pr", 16)
+    kernel_phase = workload.phases[1]
+    assert kernel_phase.shared_fraction >= 0.5
+    assert kernel_phase.locality < 0.85
+
+
+def test_gapbs_scale_bounds():
+    with pytest.raises(ValidationError):
+        get_gapbs_workload("bfs", 5)
+    with pytest.raises(ValidationError):
+        get_gapbs_workload("bfs", 40)
+    with pytest.raises(NotFoundError):
+        get_gapbs_workload("pagerank", 16)
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_suite_apps():
+    assert "ferret" in suite_apps("parsec")
+    assert suite_apps("npb") == ("bt", "cg", "ep", "ft", "is", "lu",
+                                 "mg", "sp")
+    assert "tc" in suite_apps("gapbs")
+    with pytest.raises(NotFoundError):
+        suite_apps("spec2042")
+
+
+def test_get_workload_defaults():
+    assert get_workload("parsec", "vips").name == "parsec.vips.simmedium"
+    assert get_workload("npb", "cg").name == "npb.cg.A"
+    assert get_workload("gapbs", "bfs").name == "gapbs.bfs.g16"
+
+
+def test_get_workload_explicit_sizes():
+    assert get_workload("npb", "cg", "B").name == "npb.cg.B"
+    assert get_workload("gapbs", "bfs", "20").name == "gapbs.bfs.g20"
+    with pytest.raises(ValidationError):
+        get_workload("gapbs", "bfs", "huge")
+    with pytest.raises(NotFoundError):
+        get_workload("mediabench", "epic")
+
+
+# -------------------------------------------------------------- end-to-end
+
+
+def simulator():
+    return Gem5Simulator(
+        Gem5Build(),
+        SystemConfig(
+            cpu_type="timing", num_cpus=8, memory_system="MESI_Two_Level"
+        ),
+    )
+
+
+def test_npb_image_runs_end_to_end():
+    image = build_resource("npb").image
+    result = simulator().run_fs("4.15.18", image, benchmark="cg")
+    assert result.ok
+    assert result.workload_name == "npb.cg.A"
+    assert result.workload_seconds > 0
+
+
+def test_gapbs_image_runs_end_to_end():
+    image = build_resource("gapbs").image
+    result = simulator().run_fs(
+        "4.15.18", image, benchmark="bfs", input_size="18"
+    )
+    assert result.ok
+    assert result.workload_name == "gapbs.bfs.g18"
+
+
+def test_gapbs_scales_worse_than_parsec():
+    """Graph analytics should show weaker multi-core scaling than a
+    cache-friendly PARSEC app (shared graph + low locality)."""
+    gapbs_image = build_resource("gapbs").image
+    parsec_image = build_resource("parsec").image
+
+    def speedup(image, benchmark):
+        times = {}
+        for cpus in (1, 8):
+            sim = Gem5Simulator(
+                Gem5Build(),
+                SystemConfig(
+                    cpu_type="timing",
+                    num_cpus=cpus,
+                    memory_system="MESI_Two_Level",
+                ),
+            )
+            times[cpus] = sim.run_fs(
+                "4.15.18", image, benchmark=benchmark
+            ).workload_seconds
+        return times[1] / times[8]
+
+    assert speedup(gapbs_image, "pr") < speedup(parsec_image, "swaptions")
+
+
+def test_npb_run_through_gem5art():
+    db = ArtifactDB()
+    repo = register_repo(db, "gem5")
+    gem5 = register_gem5_binary(db, Gem5Build(), inputs=[repo])
+    kernel = register_kernel_binary(db, get_kernel("4.15.18"))
+    disk = register_disk_image(db, build_resource("npb").image)
+    run = Gem5Run.create_fs_run(
+        db, gem5, repo, repo, kernel, disk,
+        benchmark="ep", input_size="W",
+    )
+    summary = run.run()
+    assert summary["success"]
+    assert summary["workload"] == "npb.ep.W"

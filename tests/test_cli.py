@@ -1,0 +1,122 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_resources_command(capsys):
+    assert main(["resources"]) == 0
+    out = capsys.readouterr().out
+    assert "GEM5 RESOURCES" in out
+    assert "parsec" in out
+    assert "supported" in out
+
+
+def test_resources_gpu_status_depends_on_version(capsys):
+    main(["resources", "--gem5-version", "20.1.0.4"])
+    assert "requires gem5 21.0" in capsys.readouterr().out
+    main(["resources", "--gem5-version", "21.0"])
+    assert "requires gem5 21.0" not in capsys.readouterr().out
+
+
+def test_selftest_command(capsys):
+    assert main(["selftest", "--isa", "X86"]) == 0
+    out = capsys.readouterr().out
+    assert "simple" in out
+    assert "pass" in out
+    assert "skip" in out
+
+
+def test_selftest_gcn3(capsys):
+    assert main(["selftest", "--isa", "GCN3_X86", "--version", "21.0"]) == 0
+    out = capsys.readouterr().out
+    assert "square" in out
+
+
+def test_boot_tests_quick(capsys):
+    assert main(["boot-tests", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 8" in out
+    assert "legend:" in out
+    assert "unsupported" in out
+
+
+def test_parsec_subset(capsys):
+    assert main(["parsec", "--apps", "swaptions"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 6" in out
+    assert "swaptions" in out
+    assert "Fig 7 mean speedup" in out
+
+
+def test_parsec_rejects_unknown_app(capsys):
+    assert main(["parsec", "--apps", "doom"]) == 2
+    assert "doom" in capsys.readouterr().out
+
+
+def test_gpu_command(capsys):
+    assert main(["gpu"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 9" in out
+    assert "FAMutex" in out
+    assert "mean relative time" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_no_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_rate_command(capsys):
+    assert main(["rate", "--benchmarks", "exchange2_r", "mcf_r"]) == 0
+    out = capsys.readouterr().out
+    assert "SPECrate scaling" in out
+    assert "exchange2_r" in out
+    assert "x" in out
+
+
+def test_rate_rejects_unknown_benchmark(capsys):
+    assert main(["rate", "--benchmarks", "doom_r"]) == 2
+
+
+def test_report_command(tmp_path, capsys):
+    from repro.art import (ArtifactDB, Experiment, export_archive,
+                           register_disk_image, register_gem5_binary,
+                           register_kernel_binary, register_repo)
+    from repro.guest import get_kernel
+    from repro.resources import build_resource
+    from repro.sim import Gem5Build
+
+    db = ArtifactDB()
+    repo = register_repo(db, "gem5")
+    experiment = Experiment(db, "cli-study")
+    experiment.add_stack(
+        "ubuntu-18.04",
+        gem5=register_gem5_binary(db, Gem5Build(), inputs=[repo]),
+        gem5_git=repo,
+        run_script_git=repo,
+        linux_binary=register_kernel_binary(db, get_kernel("4.15.18")),
+        disk_image=register_disk_image(db, build_resource("parsec").image),
+    )
+    experiment.fix(cpu_type="timing", memory_system="MESI_Two_Level")
+    experiment.sweep(benchmark=["swaptions"], num_cpus=[1])
+    experiment.launch(backend="inline")
+    archive = str(tmp_path / "archive")
+    export_archive(db, archive)
+    capsys.readouterr()  # discard setup output
+
+    assert main(["report", archive]) == 0
+    out = capsys.readouterr().out
+    assert "Reproducibility report: cli-study" in out
+    assert "| ok | 1 |" in out
+
+
+def test_report_command_bad_archive(tmp_path, capsys):
+    assert main(["report", str(tmp_path)]) == 1
+    assert "error:" in capsys.readouterr().out

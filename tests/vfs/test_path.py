@@ -1,0 +1,68 @@
+"""Tests for VFS path normalization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.vfs.path import basename, dirname, join, normalize, split
+
+
+def test_normalize_basic():
+    assert normalize("/usr/bin/gcc") == "/usr/bin/gcc"
+    assert normalize("usr/bin") == "/usr/bin"
+    assert normalize("//usr///bin/") == "/usr/bin"
+    assert normalize("/a/./b") == "/a/b"
+    assert normalize("/a/b/../c") == "/a/c"
+    assert normalize("/") == "/"
+
+
+def test_normalize_rejects_escape():
+    with pytest.raises(ValidationError):
+        normalize("/..")
+    with pytest.raises(ValidationError):
+        normalize("/a/../../b")
+
+
+def test_normalize_rejects_empty():
+    with pytest.raises(ValidationError):
+        normalize("")
+
+
+def test_split():
+    assert split("/") == []
+    assert split("/a/b") == ["a", "b"]
+
+
+def test_join():
+    assert join("/usr", "bin", "gcc") == "/usr/bin/gcc"
+    assert join("/usr/", "/bin") == "/usr/bin"
+
+
+def test_basename_dirname():
+    assert basename("/a/b/c") == "c"
+    assert basename("/") == ""
+    assert dirname("/a/b/c") == "/a/b"
+    assert dirname("/a") == "/"
+    assert dirname("/") == "/"
+
+
+segment = st.text(
+    alphabet=st.characters(
+        whitelist_categories=["Ll", "Lu", "Nd"], max_codepoint=127
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(st.lists(segment, min_size=0, max_size=5))
+def test_property_normalize_idempotent(segments):
+    path = "/" + "/".join(segments)
+    assert normalize(normalize(path)) == normalize(path)
+
+
+@given(st.lists(segment, min_size=1, max_size=5))
+def test_property_split_join_roundtrip(segments):
+    path = "/" + "/".join(segments)
+    assert split(path) == segments
+    assert join("/", *segments) == normalize(path)

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.common.errors import StateError, ValidationError
 from repro.common.ids import new_uuid
+from repro import telemetry
 from repro.art.artifact import Artifact
 from repro.art.db import ArtifactDB
 from repro.art.run import Gem5Run
@@ -172,22 +173,63 @@ class Experiment:
                 for run in self._runs
                 if self.db.get_run(run.run_id)["status"] != "done"
             ]
-        if backend == "pool":
-            run_jobs_pool(pending, processes=workers)
-        elif backend == "scheduler":
-            run_jobs_scheduler(pending, worker_count=workers)
-        elif backend == "inline":
-            for run in pending:
-                run_job(run)
-        else:
-            raise ValidationError(
-                f"unknown backend {backend!r}; "
-                "one of ('pool', 'scheduler', 'inline')"
+        span = telemetry.get_tracer().span(
+            "experiment",
+            attributes={
+                "name": self.name,
+                "experiment_id": self.experiment_id,
+                "backend": backend,
+                "runs": len(pending),
+            },
+        )
+        telemetry.get_event_log().emit(
+            "experiment.launch",
+            experiment_id=self.experiment_id,
+            name=self.name,
+            backend=backend,
+            pending=len(pending),
+        )
+        try:
+            with span:
+                if backend == "pool":
+                    run_jobs_pool(pending, processes=workers)
+                elif backend == "scheduler":
+                    run_jobs_scheduler(pending, worker_count=workers)
+                elif backend == "inline":
+                    for run in pending:
+                        run_job(run)
+                else:
+                    raise ValidationError(
+                        f"unknown backend {backend!r}; "
+                        "one of ('pool', 'scheduler', 'inline')"
+                    )
+        finally:
+            telemetry.get_event_log().emit(
+                "experiment.finished",
+                experiment_id=self.experiment_id,
+                name=self.name,
             )
+            self._archive_telemetry(span)
         return [
             self.db.get_run(run.run_id).get("results")
             for run in self._runs
         ]
+
+    def _archive_telemetry(self, span) -> None:
+        """Archive the whole experiment's trace (spans + metrics +
+        events) keyed by the experiment id — ``repro trace`` reads it
+        back from the database alone."""
+        session = telemetry.current_session()
+        if session is None or not span.span_id:
+            return
+        telemetry.archive_telemetry(
+            self.db,
+            self.experiment_id,
+            session.snapshot(
+                spans=session.tracer.subtree(span.span_id)
+            ),
+            kind="experiment",
+        )
 
     # -------------------------------------------------------------- report
 

@@ -21,6 +21,8 @@ from typing import Dict, List, Optional
 
 from repro.common.errors import ValidationError
 from repro.common.ids import new_uuid
+from repro.common.timeutil import iso_now
+from repro import telemetry
 from repro.art.artifact import Artifact, load_disk_image
 from repro.art.db import ArtifactDB
 from repro.gpu.config import GPUConfig
@@ -193,8 +195,38 @@ class Gem5Run:
 
         Returns the results summary also stored in the database.  The
         gem5art timeout is enforced on host wall-clock time.
+
+        With telemetry enabled, the run is wrapped in a ``run`` span
+        (parenting the simulator's phase spans) and its span subtree is
+        archived in the database next to the stats blob, so the timeline
+        can be rehydrated from the database alone.
         """
-        self._set_status(RunStatus.RUNNING)
+        span = telemetry.get_tracer().span(
+            "run",
+            attributes={"run_id": self.run_id, "kind": self.kind},
+        )
+        try:
+            with span:
+                summary = self._run_guarded()
+                span.set_attribute("status", self.status.value)
+                span.set_attribute(
+                    "workload", summary.get("workload", "")
+                )
+                span.set_attribute(
+                    "host_seconds", summary.get("host_seconds", 0.0)
+                )
+        finally:
+            span.set_attribute("status", self.status.value)
+            telemetry.get_metrics().counter(
+                "runs_total", "gem5art runs by final status"
+            ).inc(outcome=self.status.value)
+            self._archive_telemetry(span)
+        return summary
+
+    def _run_guarded(self) -> Dict[str, object]:
+        self._set_status(
+            RunStatus.RUNNING, extra={"started_at_wall": iso_now()}
+        )
         started = time.monotonic()
         try:
             if self.kind == "fs":
@@ -205,18 +237,37 @@ class Gem5Run:
                 raise ValidationError(f"unknown run kind {self.kind!r}")
         except Exception as error:
             self.results = {"error": str(error)}
-            self._set_status(RunStatus.FAILED, self.results)
+            self._set_status(
+                RunStatus.FAILED,
+                self.results,
+                extra={"finished_at_wall": iso_now()},
+            )
             raise
         elapsed = time.monotonic() - started
         summary["host_seconds"] = elapsed
+        finished = {"finished_at_wall": iso_now()}
         if elapsed > self.timeout:
             summary["timed_out"] = True
             self.results = summary
-            self._set_status(RunStatus.TIMED_OUT, summary)
+            self._set_status(RunStatus.TIMED_OUT, summary, extra=finished)
             return summary
         self.results = summary
-        self._set_status(RunStatus.DONE, summary)
+        self._set_status(RunStatus.DONE, summary, extra=finished)
         return summary
+
+    def _archive_telemetry(self, span) -> None:
+        """Store this run's span subtree as a blob next to its stats."""
+        if not telemetry.enabled() or not span.span_id:
+            return
+        spans = telemetry.get_tracer().subtree(span.span_id)
+        if not spans:
+            return
+        telemetry.archive_telemetry(
+            self.db,
+            self.run_id,
+            telemetry.snapshot(spans=spans),
+            kind="run",
+        )
 
     def _run_fs(self) -> Dict[str, object]:
         gem5_artifact = Artifact.load(self.db, self.artifacts["gem5"])
@@ -287,9 +338,16 @@ class Gem5Run:
 
     # ------------------------------------------------------------ storage
 
-    def _set_status(self, status: RunStatus, results=None) -> None:
+    def _set_status(
+        self, status: RunStatus, results=None, extra=None
+    ) -> None:
         self.status = status
         update = {"$set": {"status": status.value}}
         if results is not None:
             update["$set"]["results"] = results
+        if extra:
+            update["$set"].update(extra)
         self.db.update_run(self.run_id, update)
+        telemetry.get_event_log().emit(
+            "run.status", run_id=self.run_id, status=status.value
+        )

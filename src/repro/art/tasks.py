@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence
 
 from repro.art.run import Gem5Run
 from repro.scheduler import SchedulerApp, SimplePool, TaskState
+from repro.telemetry import get_tracer
 from repro.scheduler.batch import (
     BatchSystem,
     JobDescription,
@@ -30,9 +31,20 @@ def run_jobs_pool(
     runs: Sequence[Gem5Run], processes: int = 4
 ) -> List[Dict[str, object]]:
     """Execute runs through the multiprocessing-style pool, preserving
-    input order in the returned summaries."""
+    input order in the returned summaries.
+
+    The submitting thread's span context is captured here and re-parented
+    on each pool thread (pool threads cannot see the submitter's
+    thread-local span stack)."""
+    tracer = get_tracer()
+    parent = tracer.current_context_dict()
+
+    def execute(run: Gem5Run) -> Dict[str, object]:
+        with tracer.activate(parent):
+            return run.run()
+
     with SimplePool(processes=processes) as pool:
-        handles = [pool.apply_async(run.run) for run in runs]
+        handles = [pool.apply_async(execute, (run,)) for run in runs]
         return [handle.get() for handle in handles]
 
 

@@ -48,6 +48,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="one kernel and boot type only (48 runs instead of 480)",
     )
+    boot.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record spans/metrics/events and archive them in the "
+        "database (implies the experiment-backed path)",
+    )
+    boot.add_argument(
+        "--db",
+        default=None,
+        metavar="URI",
+        help="database URI (memory:// or file:///dir); routes the grid "
+        "through gem5art run objects so it can be traced later",
+    )
+    boot.add_argument(
+        "--workers", type=int, default=8,
+        help="scheduler worker threads for the experiment-backed path",
+    )
 
     parsec = commands.add_parser(
         "parsec", help="run the Fig 6/7 PARSEC OS study"
@@ -71,6 +88,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     report.add_argument("archive", help="path to an exported archive")
 
+    trace = commands.add_parser(
+        "trace",
+        help="render an archived experiment timeline (requires a run "
+        "with --telemetry)",
+    )
+    trace.add_argument(
+        "experiment", help="experiment name or id in the database"
+    )
+    trace.add_argument(
+        "--db", required=True, metavar="URI",
+        help="database URI the experiment was recorded into",
+    )
+    trace.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="write the timeline as Chrome chrome://tracing JSON",
+    )
+    trace.add_argument(
+        "--prometheus", action="store_true",
+        help="also print the archived metrics in Prometheus text format",
+    )
+
     args = parser.parse_args(argv)
     handler = {
         "resources": _cmd_resources,
@@ -80,6 +118,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gpu": _cmd_gpu,
         "rate": _cmd_rate,
         "report": _cmd_report,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 
@@ -118,6 +157,97 @@ def _cmd_selftest(args) -> int:
 
 
 def _cmd_boot_tests(args) -> int:
+    if args.telemetry or args.db:
+        return _cmd_boot_tests_experiment(args)
+    return _cmd_boot_tests_direct(args)
+
+
+def _cmd_boot_tests_experiment(args) -> int:
+    """The experiment-backed boot grid: artifacts + run objects + an
+    archived, traceable timeline — what the paper means by a run the
+    database alone can explain."""
+    import collections
+
+    from repro import telemetry
+    from repro.art import (
+        ArtifactDB,
+        Experiment,
+        register_disk_image,
+        register_gem5_binary,
+        register_kernel_binary,
+        register_repo,
+    )
+    from repro.db import connect
+    from repro.guest import BOOT_TEST_KERNEL_VERSIONS, get_kernel
+    from repro.resources import build_resource
+    from repro.sim import Gem5Build
+
+    kernels = (
+        BOOT_TEST_KERNEL_VERSIONS[:1]
+        if args.quick
+        else BOOT_TEST_KERNEL_VERSIONS
+    )
+    boot_types = ["init"] if args.quick else ["init", "systemd"]
+    db = ArtifactDB(connect(args.db or "memory://"))
+    if args.telemetry:
+        telemetry.enable()
+    try:
+        gem5_repo = register_repo(db, "gem5", version="v20.1.0.4")
+        resources_repo = register_repo(
+            db,
+            "gem5-resources",
+            url="https://gem5.googlesource.com/public/gem5-resources",
+            version="c5f5c70",
+        )
+        gem5_binary = register_gem5_binary(
+            db, Gem5Build(version="20.1.0.4"), inputs=[gem5_repo]
+        )
+        disk = register_disk_image(
+            db, build_resource("boot-exit").image,
+            inputs=[resources_repo],
+        )
+        experiment = Experiment(db, "boot-tests")
+        for version in kernels:
+            experiment.add_stack(
+                f"linux-{version}",
+                gem5=gem5_binary,
+                gem5_git=gem5_repo,
+                run_script_git=resources_repo,
+                linux_binary=register_kernel_binary(
+                    db, get_kernel(version)
+                ),
+                disk_image=disk,
+            )
+        experiment.sweep(
+            boot_type=boot_types,
+            cpu_type=["kvm", "atomic", "timing", "o3"],
+            memory_system=["classic", "MI_example", "MESI_Two_Level"],
+            num_cpus=[1, 2, 4, 8],
+        )
+        print(f"launching {experiment.size()} boot tests ...")
+        summaries = experiment.launch(
+            backend="scheduler", workers=args.workers
+        )
+        counts = collections.Counter(
+            (s or {}).get("simulation_status", "failed")
+            for s in summaries
+        )
+        for status, count in sorted(counts.items()):
+            print(f"{status:<14} {count}")
+        db.save()
+        print(f"\nexperiment {experiment.experiment_id} archived "
+              f"as 'boot-tests'")
+        if args.telemetry:
+            print("telemetry recorded; inspect with:\n"
+                  f"  repro trace boot-tests --db {args.db or 'memory://'}"
+                  " --prometheus --chrome trace.json")
+    finally:
+        if args.telemetry:
+            telemetry.disable()
+    return 0
+
+
+def _cmd_boot_tests_direct(args) -> int:
     import collections
     import itertools
 
@@ -263,6 +393,96 @@ def _cmd_rate(args) -> int:
         )
     print(table.render())
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.art import ArtifactDB
+    from repro.art.launch import EXPERIMENTS
+    from repro.common.errors import ReproError
+    from repro.db import connect
+    from repro.telemetry import (
+        chrome_trace_json,
+        metrics_to_prometheus,
+        rehydrate_telemetry,
+    )
+
+    try:
+        db = ArtifactDB(connect(args.db))
+        experiments = db.database.collection(EXPERIMENTS)
+        doc = experiments.find_one({"name": args.experiment})
+        if doc is None:
+            doc = experiments.find_one({"_id": args.experiment})
+        if doc is None:
+            print(f"error: no experiment {args.experiment!r} in {args.db}")
+            return 1
+        snapshot = rehydrate_telemetry(db, doc["_id"])
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+
+    spans = snapshot["spans"]
+    # Write the trace file before touching stdout: if stdout is a pipe
+    # that closes early (e.g. | head), the artifact must still exist.
+    if args.chrome:
+        try:
+            with open(args.chrome, "w", encoding="utf-8") as handle:
+                handle.write(chrome_trace_json(spans))
+        except OSError as error:
+            print(f"error: cannot write {args.chrome}: {error}")
+            return 1
+    print(_trace_timing_table(doc, spans))
+    if args.chrome:
+        print(f"\nChrome trace written to {args.chrome} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    if args.prometheus:
+        print()
+        print(metrics_to_prometheus(snapshot["metrics"]), end="")
+    return 0
+
+
+def _trace_timing_table(doc, spans) -> str:
+    """Per-run timing table reconstructed purely from archived spans."""
+    children = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+
+    def wall_ms(span) -> str:
+        duration = span.get("duration")
+        return f"{duration * 1000:.1f}" if duration is not None else "?"
+
+    table = TextTable(
+        ["Run", "Workload", "Status", "Wall ms", "Phases"],
+        title=f"experiment {doc['name']} — per-run timing",
+    )
+    run_spans = [s for s in spans if s["name"] == "run"]
+    run_spans.sort(key=lambda s: s["start_wall"])
+    for span in run_spans:
+        attributes = span.get("attributes", {})
+        phases = ", ".join(
+            f"{child['name'].split('.', 1)[-1]}={wall_ms(child)}ms"
+            for child in sorted(
+                children.get(span["span_id"], []),
+                key=lambda s: s["start_wall"],
+            )
+            if child["name"].startswith("phase.")
+        )
+        table.add_row(
+            [
+                str(attributes.get("run_id", "?"))[:8],
+                str(attributes.get("workload", "?")),
+                str(attributes.get("status", "?")),
+                wall_ms(span),
+                phases or "-",
+            ]
+        )
+    total = next((s for s in spans if s["name"] == "experiment"), None)
+    lines = [table.render()]
+    if total is not None and total.get("duration") is not None:
+        lines.append(
+            f"experiment wall time: {total['duration']:.3f}s "
+            f"over {len(run_spans)} runs"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_report(args) -> int:

@@ -24,6 +24,7 @@ from repro.common.ids import new_uuid, deterministic_uuid
 from repro.common.jsonutil import canonical_dumps, dumps, loads
 from repro.common.rng import RngStream, derive_seed
 from repro.common.tables import TextTable
+from repro.common.timeutil import iso_from_timestamp, iso_now
 from repro.common.units import (
     GHz,
     MHz,
@@ -52,6 +53,8 @@ __all__ = [
     "RngStream",
     "derive_seed",
     "TextTable",
+    "iso_from_timestamp",
+    "iso_now",
     "GHz",
     "MHz",
     "ns_to_ticks",

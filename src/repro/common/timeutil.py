@@ -1,0 +1,23 @@
+"""Wall-clock helpers.
+
+Monotonic timestamps (``time.monotonic``) are only meaningful within one
+process; anything archived in the database must also carry wall-clock time
+in a portable form.  ISO-8601 UTC strings sort lexicographically in
+chronological order, which is what the query layer relies on.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+
+def iso_now() -> str:
+    """Current UTC wall-clock time as an ISO-8601 string."""
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()
+
+
+def iso_from_timestamp(timestamp: float) -> str:
+    """Convert a ``time.time()`` epoch value to an ISO-8601 UTC string."""
+    return datetime.datetime.fromtimestamp(
+        timestamp, datetime.timezone.utc
+    ).isoformat()

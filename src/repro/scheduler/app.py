@@ -16,6 +16,7 @@ from repro.common.errors import NotFoundError, StateError, ValidationError
 from repro.scheduler.broker import Broker, TaskMessage
 from repro.scheduler.result import AsyncResult, ResultBackend
 from repro.scheduler.states import TaskState
+from repro.telemetry import get_metrics, get_tracer
 
 _POLL_INTERVAL = 0.05
 
@@ -72,6 +73,10 @@ class SchedulerApp:
         self._stop = threading.Event()
         self._started = False
         self._lock = threading.Lock()
+        # Submitted-but-not-finished count; drain() sleeps on the
+        # condition instead of polling the queue length.
+        self._inflight = 0
+        self._idle = threading.Condition()
 
     # ------------------------------------------------------------ registry
 
@@ -118,8 +123,15 @@ class SchedulerApp:
             kwargs=dict(kwargs or {}),
             timeout=timeout,
             max_retries=max_retries,
+            trace_context=get_tracer().current_context_dict(),
         )
         self.backend.create(message.task_id)
+        get_metrics().counter(
+            "scheduler_tasks_submitted_total",
+            "Tasks accepted by the scheduler app",
+        ).inc(app=self.name)
+        with self._idle:
+            self._inflight += 1
         self.broker.publish(message)
         self._ensure_started()
         return AsyncResult(message.task_id, self.backend)
@@ -149,7 +161,16 @@ class SchedulerApp:
             message = self.broker.consume(timeout=_POLL_INTERVAL)
             if message is None:
                 continue
-            self._execute(message)
+            try:
+                self._execute(message)
+            finally:
+                self._task_done()
+
+    def _task_done(self) -> None:
+        with self._idle:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.notify_all()
 
     def _execute(self, message: TaskMessage) -> None:
         if self.broker.is_revoked(message.task_id):
@@ -157,6 +178,20 @@ class SchedulerApp:
                 message.task_id, TaskState.REVOKED, error="revoked"
             )
             return
+        with get_tracer().span(
+            "task",
+            parent=message.trace_context,
+            attributes={
+                "task_name": message.task_name,
+                "task_id": message.task_id,
+            },
+        ) as span:
+            self._execute_message(message)
+            span.set_attribute(
+                "state", self.backend.state(message.task_id).value
+            )
+
+    def _execute_message(self, message: TaskMessage) -> None:
         task = self._tasks[message.task_name]
         self.backend.transition(message.task_id, TaskState.STARTED)
         outcome = _run_with_timeout(
@@ -216,14 +251,20 @@ class SchedulerApp:
     # ------------------------------------------------------------ shutdown
 
     def drain(self, timeout: float = 60.0) -> None:
-        """Block until the queue is empty and workers are idle."""
-        import time as _time
+        """Block until every submitted task has finished executing.
 
-        deadline = _time.monotonic() + timeout
-        while len(self.broker) > 0:
-            if _time.monotonic() > deadline:
-                raise StateError("drain timed out with tasks still queued")
-            _time.sleep(_POLL_INTERVAL)
+        Waits on the in-flight condition rather than sleep-polling the
+        queue length, so it returns the moment the last worker finishes
+        (and, unlike a queue-length poll, also covers tasks a worker has
+        already dequeued but not completed).
+        """
+        with self._idle:
+            if not self._idle.wait_for(
+                lambda: self._inflight <= 0, timeout=timeout
+            ):
+                raise StateError(
+                    "drain timed out with tasks still in flight"
+                )
 
     def shutdown(self) -> None:
         """Stop the worker threads (queued tasks are abandoned)."""
@@ -244,7 +285,9 @@ def _run_with_timeout(
     Returns ("success", value), ("timeout", None) or ("error", traceback).
     Timeouts are implemented by running the call in a helper thread and
     abandoning it — acceptable because simulator jobs are pure computations
-    with no external side effects to clean up.
+    with no external side effects to clean up.  The worker's active span
+    context is re-activated on the helper thread so spans opened inside
+    the task still nest under the task span.
     """
     if timeout is None:
         try:
@@ -253,10 +296,13 @@ def _run_with_timeout(
             return ("error", traceback.format_exc())
 
     box: Dict[str, Any] = {}
+    tracer = get_tracer()
+    parent_context = tracer.current_context_dict()
 
     def target():
         try:
-            box["value"] = func(*args, **kwargs)
+            with tracer.activate(parent_context):
+                box["value"] = func(*args, **kwargs)
         except Exception:
             box["error"] = traceback.format_exc()
 

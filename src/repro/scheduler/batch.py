@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import StateError, ValidationError
+from repro.telemetry import get_event_log, get_metrics, get_tracer
 
 
 class JobState(str, enum.Enum):
@@ -93,6 +94,9 @@ class BatchJob:
         self.result: Any = None
         self.error: Optional[str] = None
         self._done = threading.Event()
+        # Captured at construction (the submitter's thread) so the
+        # execute thread can parent its span correctly.
+        self.trace_context = get_tracer().current_context_dict()
 
     def wait(self, timeout: float = None) -> JobState:
         if not self._done.wait(timeout=timeout):
@@ -137,6 +141,10 @@ class BatchSystem:
 
     def submit(self, description: JobDescription) -> BatchJob:
         job = BatchJob(description)
+        get_metrics().counter(
+            "batch_jobs_submitted_total",
+            "Jobs handed to the batch system",
+        ).inc()
         with self._lock:
             if not self._matchable(description):
                 job.state = JobState.HELD
@@ -145,10 +153,26 @@ class BatchSystem:
                     f"requirements {description.requirements}"
                 )
                 job._done.set()
+                self._record_final(job)
                 return job
             self._queue.append(job)
+            get_event_log().emit(
+                "batch.job.queued", job_id=job.job_id
+            )
         self._negotiate()
         return job
+
+    @staticmethod
+    def _record_final(job: "BatchJob") -> None:
+        get_metrics().counter(
+            "batch_jobs_total", "Jobs by terminal state"
+        ).inc(state=job.state.value)
+        get_event_log().emit(
+            "batch.job.finished",
+            job_id=job.job_id,
+            state=job.state.value,
+            machine=job.machine,
+        )
 
     def _matchable(self, description: JobDescription) -> bool:
         return any(
@@ -162,6 +186,9 @@ class BatchSystem:
         """Match idle jobs to free slots; highest priority first, then
         submission (job id) order — deterministic, as tests require."""
         with self._lock:
+            get_metrics().gauge(
+                "batch_queue_depth", "Jobs queued or running"
+            ).set(len(self._queue))
             idle = sorted(
                 (j for j in self._queue if j.state is JobState.IDLE),
                 key=lambda j: (-j.description.priority, j.job_id),
@@ -192,10 +219,19 @@ class BatchSystem:
     def _execute(self, job: BatchJob, machine: Machine) -> None:
         description = job.description
         try:
-            job.result = description.executable(
-                *description.args, **description.kwargs
-            )
-            job.state = JobState.COMPLETED
+            with get_tracer().span(
+                "batch.job",
+                parent=job.trace_context,
+                attributes={
+                    "job_id": job.job_id,
+                    "machine": machine.name,
+                },
+            ) as span:
+                job.result = description.executable(
+                    *description.args, **description.kwargs
+                )
+                job.state = JobState.COMPLETED
+                span.set_attribute("state", job.state.value)
         except Exception:
             job.error = traceback.format_exc()
             job.state = JobState.FAILED
@@ -204,6 +240,7 @@ class BatchSystem:
                 self._free_slots[machine.name] += 1
                 self._queue.remove(job)
                 self._lock.notify_all()
+            self._record_final(job)
             job._done.set()
             self._negotiate()
 

@@ -16,7 +16,13 @@ from repro.common.ids import new_uuid
 
 @dataclass
 class TaskMessage:
-    """One enqueued task invocation."""
+    """One enqueued task invocation.
+
+    ``trace_context`` carries the submitting span's context (trace id +
+    span id, dict form) across the broker: worker threads cannot see the
+    submitter's thread-local span stack, so the handle must travel in the
+    message for telemetry to stitch experiment → task → run spans.
+    """
 
     task_name: str
     args: Tuple[Any, ...] = ()
@@ -25,6 +31,7 @@ class TaskMessage:
     timeout: Optional[float] = None
     max_retries: int = 0
     retries: int = 0
+    trace_context: Optional[Dict[str, str]] = None
 
 
 class Broker:

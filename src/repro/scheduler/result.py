@@ -13,7 +13,9 @@ import time
 from typing import Any, Dict, Optional
 
 from repro.common.errors import NotFoundError, StateError
+from repro.common.timeutil import iso_now
 from repro.scheduler.states import TaskState, can_transition
+from repro.telemetry import get_event_log, get_metrics
 
 
 class ResultBackend:
@@ -25,13 +27,19 @@ class ResultBackend:
 
     def create(self, task_id: str) -> None:
         with self._lock:
+            # Monotonic timestamps measure durations within this process;
+            # the *_wall ISO-8601 fields are what survives archiving —
+            # monotonic values are meaningless across processes/sessions.
             self._records[task_id] = {
                 "state": TaskState.PENDING,
                 "result": None,
                 "error": None,
                 "submitted_at": time.monotonic(),
+                "submitted_at_wall": iso_now(),
                 "started_at": None,
+                "started_at_wall": None,
                 "finished_at": None,
+                "finished_at_wall": None,
                 "retries": 0,
             }
 
@@ -53,12 +61,28 @@ class ResultBackend:
             record["state"] = state
             if state is TaskState.STARTED:
                 record["started_at"] = time.monotonic()
+                record["started_at_wall"] = iso_now()
             if state is TaskState.RETRY:
                 record["retries"] += 1
+                get_metrics().counter(
+                    "scheduler_task_retries_total",
+                    "Task executions that ended in a retry",
+                ).inc()
             if state.is_terminal:
                 record["finished_at"] = time.monotonic()
+                record["finished_at_wall"] = iso_now()
                 record["result"] = result
                 record["error"] = error
+                get_metrics().counter(
+                    "scheduler_tasks_total",
+                    "Tasks by terminal state",
+                ).inc(state=state.value)
+            get_event_log().emit(
+                "task.transition",
+                task_id=task_id,
+                src=current.value,
+                dst=state.value,
+            )
             self._lock.notify_all()
 
     def state(self, task_id: str) -> TaskState:

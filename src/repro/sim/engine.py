@@ -20,6 +20,7 @@ from repro.sim.events import EventQueue
 from repro.sim.mem.hierarchy import MemoryTimings, build_memory_system
 from repro.sim.stats import StatsDB
 from repro.sim.workload.phases import Phase, Workload
+from repro.telemetry import get_metrics
 
 #: Cycles for one synchronization event on one core, before contention.
 _SYNC_BASE_CYCLES = 40.0
@@ -95,6 +96,7 @@ class ExecutionEngine:
     def execute(self, workload: Workload) -> ExecutionOutcome:
         """Run every phase of the workload to completion."""
         start_tick = self.queue.now
+        start_events = self.queue.executed_events
         total_instructions = 0
         busy_cycles = 0.0
         total_cycles = 0.0
@@ -111,12 +113,42 @@ class ExecutionEngine:
         self._record_workload(workload, ticks, total_instructions)
         self._record_cpi_stack(total_instructions, busy_cycles,
                                total_cycles)
+        self._record_telemetry(workload, start_events)
         return ExecutionOutcome(
             ticks=ticks,
             instructions=total_instructions,
             busy_cycles=busy_cycles,
             total_cycles=total_cycles,
         )
+
+    def _record_telemetry(self, workload, start_events: int) -> None:
+        """Surface engine activity to the (no-op by default) telemetry
+        layer.  Strictly read-only with respect to simulated state: the
+        same stats and sim_seconds come out with telemetry on or off."""
+        metrics = get_metrics()
+        metrics.counter(
+            "engine_events_processed_total",
+            "Discrete events executed by the event queue",
+        ).inc(self.queue.executed_events - start_events)
+        metrics.counter(
+            "engine_workloads_total", "Workloads executed"
+        ).inc(cpu=self.config.cpu_type)
+        accesses = self.stats.get("system.l1d.accesses", default=0.0)
+        if accesses > 0:
+            metrics.gauge(
+                "sim_l1d_miss_rate",
+                "L1D miss rate of the most recent workload",
+            ).set(
+                self.stats.ratio("system.l1d.misses",
+                                 "system.l1d.accesses")
+            )
+            metrics.gauge(
+                "sim_dram_access_ratio",
+                "DRAM accesses per L1D access, most recent workload",
+            ).set(
+                self.stats.ratio("system.mem_ctrl.accesses",
+                                 "system.l1d.accesses")
+            )
 
     def _record_cpi_stack(self, instructions, busy, total) -> None:
         """CPI breakdown: base (issue) vs everything else (memory stalls,

@@ -38,6 +38,7 @@ from repro.sim.workload.registry import (
     installed_benchmarks,
 )
 from repro.sim.workload.phases import Workload
+from repro.telemetry import get_metrics, get_tracer
 from repro.vfs.image import DiskImage
 
 
@@ -133,6 +134,10 @@ class Gem5Simulator:
         verdict = check_run(
             self.build.version, self.config, kernel.version, boot_type
         )
+        get_metrics().counter(
+            "sim_fault_verdicts_total",
+            "Fault-model classifications before simulation",
+        ).inc(fault=verdict.fault.value)
         if not verdict.ok:
             return self._failed_result(kernel, boot_type, verdict)
 
@@ -159,7 +164,20 @@ class Gem5Simulator:
                     "init_instructions", 250_000_000
                 ),
             )
-            boot_outcome = engine.execute(boot)
+            with get_tracer().span(
+                "phase.boot",
+                attributes={
+                    "kernel": kernel.version,
+                    "boot_type": boot_type,
+                },
+            ) as span:
+                boot_outcome = engine.execute(boot)
+                span.set_attribute(
+                    "sim_seconds", boot_outcome.sim_seconds
+                )
+                span.set_attribute(
+                    "instructions", boot_outcome.instructions
+                )
             workload_name = boot.name
 
         workload_outcome = None
@@ -171,7 +189,17 @@ class Gem5Simulator:
             if isinstance(workload, SimulationResult):
                 return workload  # benchmark itself is broken
             workload_name = workload.name
-            workload_outcome = engine.execute(workload)
+            with get_tracer().span(
+                "phase.benchmark",
+                attributes={"benchmark": workload.name},
+            ) as span:
+                workload_outcome = engine.execute(workload)
+                span.set_attribute(
+                    "sim_seconds", workload_outcome.sim_seconds
+                )
+                span.set_attribute(
+                    "instructions", workload_outcome.instructions
+                )
 
         op_log = self._fire_m5ops(
             engine, disk_image, workload, workload_outcome, restore_from

@@ -1,0 +1,74 @@
+"""The structured event log: an append-only record of what happened.
+
+Where spans answer "where did the time go", events answer "what state
+changes occurred, in what order": task transitions, retries, fault-model
+verdicts, experiment milestones.  Each event carries a process-unique
+sequence number (total order even when wall clocks tie), both clock kinds,
+an event ``kind`` and free-form attributes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.common.timeutil import iso_from_timestamp
+
+
+class EventLog:
+    """Thread-safe append-only log of structured events."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._sequence = 0
+
+    def emit(self, kind: str, **attributes: Any) -> Dict[str, Any]:
+        """Append one event and return its record."""
+        wall = time.time()
+        with self._lock:
+            self._sequence += 1
+            event = {
+                "seq": self._sequence,
+                "kind": kind,
+                "wall": wall,
+                "wall_iso": iso_from_timestamp(wall),
+                "mono": time.perf_counter(),
+                "thread": threading.current_thread().name,
+                "attributes": dict(attributes),
+            }
+            self._events.append(event)
+        return event
+
+    def records(
+        self, kind: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Snapshot of events (optionally filtered by kind), in order."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e["kind"] == kind]
+        return [dict(e) for e in events]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class NullEventLog:
+    """Event log twin used while telemetry is disabled."""
+
+    def emit(self, kind: str, **attributes: Any) -> None:
+        return None
+
+    def records(
+        self, kind: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_EVENT_LOG = NullEventLog()

@@ -16,6 +16,14 @@ EXAMPLES_DIR = os.path.join(
 )
 
 
+@pytest.fixture(autouse=True)
+def run_in_tmpdir(tmp_path, monkeypatch):
+    """Every example runs with a scratch cwd so anything it writes
+    (databases, archives, trace files) lands in the tmpdir, never in the
+    repository checkout."""
+    monkeypatch.chdir(tmp_path)
+
+
 def run_example(name: str, capsys) -> str:
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, name + ".py"))
     spec = importlib.util.spec_from_file_location(f"example_{name}", path)

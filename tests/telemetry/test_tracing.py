@@ -1,0 +1,151 @@
+"""Tracing: nesting, cross-thread propagation, sessions, the null twins."""
+
+import threading
+
+from repro import telemetry
+from repro.telemetry import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SpanContext,
+    Tracer,
+)
+
+
+def test_spans_nest_implicitly_within_a_thread():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+            assert inner.trace_id == outer.trace_id
+    spans = tracer.finished_spans()
+    assert [span["name"] for span in spans] == ["inner", "outer"]
+
+
+def test_span_records_both_clocks_and_duration():
+    tracer = Tracer()
+    with tracer.span("op") as span:
+        pass
+    record = tracer.finished_spans()[0]
+    assert record["duration"] >= 0
+    assert record["end_wall"] >= record["start_wall"]
+    assert record["start_wall_iso"].endswith("+00:00")
+    assert span.ended
+
+
+def test_explicit_parent_crosses_threads_via_dict():
+    tracer = Tracer()
+    carried = {}
+
+    with tracer.span("submitter") as parent:
+        wire = tracer.current_context_dict()
+
+    def worker():
+        with tracer.span("remote", parent=wire) as span:
+            carried["parent_id"] = span.parent_id
+            carried["trace_id"] = span.trace_id
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert carried["parent_id"] == parent.span_id
+    assert carried["trace_id"] == parent.trace_id
+
+
+def test_activate_reparents_without_extra_span():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        wire = tracer.current_context_dict()
+    result = {}
+
+    def worker():
+        with tracer.activate(wire):
+            with tracer.span("child") as child:
+                result["parent_id"] = child.parent_id
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert result["parent_id"] == root.span_id
+    # No span named for the activation itself.
+    assert {s["name"] for s in tracer.finished_spans()} == {
+        "root",
+        "child",
+    }
+
+
+def test_subtree_collects_descendants_only():
+    tracer = Tracer()
+    with tracer.span("a") as a:
+        with tracer.span("b") as b:
+            with tracer.span("c"):
+                pass
+    with tracer.span("unrelated"):
+        pass
+    names = {s["name"] for s in tracer.subtree(a.span_id)}
+    assert names == {"a", "b", "c"}
+    assert {s["name"] for s in tracer.subtree(b.span_id)} == {"b", "c"}
+
+
+def test_exception_marks_span_and_still_finishes():
+    tracer = Tracer()
+    try:
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    record = tracer.finished_spans()[0]
+    assert record["attributes"]["error"] == "RuntimeError"
+    assert record["duration"] is not None
+
+
+def test_span_context_round_trips():
+    ctx = SpanContext("t", "s")
+    assert SpanContext.from_dict(ctx.to_dict()).span_id == "s"
+    assert SpanContext.from_dict(None) is None
+
+
+def test_null_tracer_is_inert():
+    with NULL_TRACER.span("x", attributes={"a": 1}) as span:
+        assert span is NULL_SPAN
+        span.set_attribute("k", "v")
+    with NULL_TRACER.activate({"trace_id": "t", "span_id": "s"}):
+        pass
+    assert NULL_TRACER.finished_spans() == []
+    assert NULL_TRACER.subtree("anything") == []
+    assert NULL_TRACER.current_context_dict() is None
+
+
+def test_global_session_enable_disable():
+    assert not telemetry.enabled()
+    assert telemetry.get_tracer() is NULL_TRACER
+    session = telemetry.enable()
+    try:
+        assert telemetry.enabled()
+        assert telemetry.get_tracer() is session.tracer
+        assert telemetry.get_metrics() is session.metrics
+        assert telemetry.get_event_log() is session.events
+    finally:
+        telemetry.disable()
+    assert telemetry.get_tracer() is NULL_TRACER
+
+
+def test_session_context_manager_restores_previous_state():
+    with telemetry.session() as session:
+        assert telemetry.current_session() is session
+        with telemetry.session() as nested:
+            assert telemetry.current_session() is nested
+        assert telemetry.current_session() is session
+    assert telemetry.current_session() is None
+
+
+def test_session_snapshot_bundles_all_three():
+    with telemetry.session() as session:
+        with session.tracer.span("op"):
+            pass
+        session.metrics.counter("c").inc()
+        session.events.emit("e", detail=1)
+        snap = session.snapshot()
+    assert len(snap["spans"]) == 1
+    assert snap["metrics"][0]["name"] == "c"
+    assert snap["events"][0]["kind"] == "e"
+    assert snap["version"] == 1

@@ -120,3 +120,46 @@ def test_report_command(tmp_path, capsys):
 def test_report_command_bad_archive(tmp_path, capsys):
     assert main(["report", str(tmp_path)]) == 1
     assert "error:" in capsys.readouterr().out
+
+
+def test_boot_tests_telemetry_then_trace(tmp_path, capsys):
+    import json
+
+    uri = f"file://{tmp_path}/tracedb"
+    assert main(["boot-tests", "--quick", "--telemetry", "--db", uri]) == 0
+    capsys.readouterr()  # discard launch output
+
+    chrome_path = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "trace",
+                "boot-tests",
+                "--db",
+                uri,
+                "--chrome",
+                str(chrome_path),
+                "--prometheus",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    # (a) the per-run timing table
+    assert "Run" in out and "Wall ms" in out
+    assert "experiment wall time" in out
+    # (c) Prometheus metrics including runs_total by outcome
+    assert "# TYPE runs_total counter" in out
+    assert 'runs_total{outcome="done"}' in out
+    # (b) valid Chrome-trace JSON with the nested span hierarchy
+    trace = json.loads(chrome_path.read_text())
+    names = {
+        e["name"] for e in trace["traceEvents"] if e.get("ph") == "X"
+    }
+    assert {"experiment", "run", "phase.boot"} <= names
+
+
+def test_trace_unknown_experiment(tmp_path, capsys):
+    uri = f"file://{tmp_path}/emptydb"
+    assert main(["trace", "nothing-here", "--db", uri]) == 1
+    assert "error:" in capsys.readouterr().out

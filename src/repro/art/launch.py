@@ -17,12 +17,17 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.common.errors import StateError, ValidationError
+from repro.common.errors import (
+    NotFoundError,
+    StateError,
+    ValidationError,
+)
 from repro.common.ids import new_uuid
+from repro.common.timeutil import iso_now
 from repro import telemetry
 from repro.art.artifact import Artifact
 from repro.art.db import ArtifactDB
-from repro.art.run import Gem5Run
+from repro.art.run import Gem5Run, RunStatus
 from repro.art.tasks import run_job, run_jobs_pool, run_jobs_scheduler
 
 #: Artifact roles a full-system stack must provide.
@@ -35,6 +40,14 @@ FS_STACK_ROLES = (
 )
 
 EXPERIMENTS = "experiments"
+
+#: Run statuses a resume re-queues by default: never-started runs and
+#: runs interrupted mid-flight (status still "running" with no live
+#: process behind it).
+RESUMABLE_STATUSES = (RunStatus.CREATED.value, RunStatus.RUNNING.value)
+
+#: Additionally re-queued when ``retry_failures=True``.
+FAILED_STATUSES = (RunStatus.FAILED.value, RunStatus.TIMED_OUT.value)
 
 
 class Experiment:
@@ -51,11 +64,17 @@ class Experiment:
         self._fixed: Dict[str, Any] = {}
         self._runs: Optional[List[Gem5Run]] = None
         self._stack_of_run: Dict[str, str] = {}
+        self._loaded = False
 
     # -------------------------------------------------------------- stacks
 
     def add_stack(self, name: str, **artifacts: Artifact) -> None:
         """Register a named artifact set (e.g. one per OS release)."""
+        if self._loaded:
+            raise StateError(
+                "experiments loaded from the database are frozen; "
+                "declare stacks on a fresh Experiment"
+            )
         missing = [
             role for role in FS_STACK_ROLES if role not in artifacts
         ]
@@ -100,6 +119,10 @@ class Experiment:
 
     def create_runs(self) -> List[Gem5Run]:
         """Materialize one run object per cross-product point."""
+        if self._loaded:
+            raise StateError(
+                "runs of a loaded experiment already exist in the database"
+            )
         if not self._stacks:
             raise StateError("add at least one stack before create_runs")
         if self._runs is not None:
@@ -142,7 +165,20 @@ class Experiment:
                 "axes": self._axes,
                 "fixed": self._fixed,
                 "run_ids": [run.run_id for run in self._runs],
+                "stack_of_run": dict(self._stack_of_run),
+                "status": "created",
+                "created_at_wall": iso_now(),
             }
+        )
+
+    def _journal(self, status: str, **extra: Any) -> None:
+        """Record the experiment's own lifecycle in its document, so an
+        interrupted campaign is visible in the database — not only in the
+        memory of the crashed process."""
+        update = {"status": status, "status_at_wall": iso_now()}
+        update.update(extra)
+        self.db.database.collection(EXPERIMENTS).update_one(
+            {"_id": self.experiment_id}, {"$set": update}
         )
 
     # -------------------------------------------------------------- launch
@@ -168,52 +204,153 @@ class Experiment:
             self.create_runs()
         pending = self._runs
         if resume:
+            pending_ids = set(self.pending_runs())
             pending = [
-                run
-                for run in self._runs
-                if self.db.get_run(run.run_id)["status"] != "done"
+                run for run in self._runs if run.run_id in pending_ids
             ]
+        return self._execute_pending(
+            pending, backend, workers, phase="launch"
+        )
+
+    def resume(
+        self,
+        backend: str = "pool",
+        workers: int = 4,
+        retry_failures: bool = False,
+    ) -> List[Dict[str, Any]]:
+        """Re-launch only the runs an interrupted campaign still owes.
+
+        Idempotent by run_id: runs already ``done`` in the database are
+        skipped; ``created`` runs (never started) and ``running`` runs
+        (interrupted mid-flight — their process is gone) are re-queued;
+        ``failed``/``timed_out`` runs are re-queued only with
+        ``retry_failures=True``.  Resuming a finished experiment executes
+        nothing and just returns the summaries.
+        """
+        if self._runs is None:
+            raise StateError(
+                "no runs to resume; launch the experiment first or load "
+                "it from the database with Experiment.load"
+            )
+        pending_ids = set(self.pending_runs(retry_failures=retry_failures))
+        pending = [
+            run for run in self._runs if run.run_id in pending_ids
+        ]
+        return self._execute_pending(
+            pending, backend, workers, phase="resume"
+        )
+
+    def pending_runs(self, retry_failures: bool = False) -> List[str]:
+        """Run ids a resume would execute, in creation order, judged by
+        the *database's* current run statuses (not in-memory state)."""
+        if self._runs is None:
+            return []
+        resumable = set(RESUMABLE_STATUSES)
+        if retry_failures:
+            resumable.update(FAILED_STATUSES)
+        return [
+            run.run_id
+            for run in self._runs
+            if self.db.get_run(run.run_id)["status"] in resumable
+        ]
+
+    def _execute_pending(
+        self,
+        pending: List[Gem5Run],
+        backend: str,
+        workers: int,
+        phase: str,
+    ) -> List[Dict[str, Any]]:
+        if backend not in ("pool", "scheduler", "inline"):
+            raise ValidationError(
+                f"unknown backend {backend!r}; "
+                "one of ('pool', 'scheduler', 'inline')"
+            )
         span = telemetry.get_tracer().span(
             "experiment",
             attributes={
                 "name": self.name,
                 "experiment_id": self.experiment_id,
                 "backend": backend,
+                "phase": phase,
                 "runs": len(pending),
             },
         )
         telemetry.get_event_log().emit(
-            "experiment.launch",
+            f"experiment.{phase}",
             experiment_id=self.experiment_id,
             name=self.name,
             backend=backend,
             pending=len(pending),
+            run_ids=[run.run_id for run in pending],
         )
+        self._journal(
+            "resuming" if phase == "resume" else "launching",
+            backend=backend,
+            workers=workers,
+            pending=len(pending),
+        )
+        interrupted = True
         try:
             with span:
                 if backend == "pool":
                     run_jobs_pool(pending, processes=workers)
                 elif backend == "scheduler":
                     run_jobs_scheduler(pending, worker_count=workers)
-                elif backend == "inline":
+                else:
                     for run in pending:
                         run_job(run)
-                else:
-                    raise ValidationError(
-                        f"unknown backend {backend!r}; "
-                        "one of ('pool', 'scheduler', 'inline')"
-                    )
+            interrupted = False
         finally:
+            # The journal survives a crash here: a campaign killed
+            # mid-flight leaves status="interrupted" behind, which is what
+            # ``repro resume`` looks for.
+            self._journal("interrupted" if interrupted else "finished")
             telemetry.get_event_log().emit(
                 "experiment.finished",
                 experiment_id=self.experiment_id,
                 name=self.name,
+                interrupted=interrupted,
             )
             self._archive_telemetry(span)
         return [
             self.db.get_run(run.run_id).get("results")
             for run in self._runs
         ]
+
+    # ----------------------------------------------------------- loading
+
+    @classmethod
+    def load(cls, db: ArtifactDB, name_or_id: str) -> "Experiment":
+        """Rehydrate an experiment (and its runs) from the database.
+
+        Accepts the experiment's name or id.  The result is frozen —
+        stacks and runs already exist — but fully resumable and
+        reportable.
+        """
+        experiments = db.database.collection(EXPERIMENTS)
+        doc = experiments.find_one({"name": name_or_id})
+        if doc is None:
+            doc = experiments.find_one({"_id": name_or_id})
+        if doc is None:
+            raise NotFoundError(
+                f"no experiment named (or with id) {name_or_id!r}"
+            )
+        experiment = cls(db, doc["name"])
+        experiment.experiment_id = doc["_id"]
+        experiment._loaded = True
+        experiment._axes = {
+            key: list(values) for key, values in doc["axes"].items()
+        }
+        experiment._fixed = dict(doc["fixed"])
+        experiment._stacks = {
+            name: dict(roles) for name, roles in doc["stacks"].items()
+        }
+        experiment._runs = [
+            Gem5Run.load(db, run_id) for run_id in doc["run_ids"]
+        ]
+        experiment._stack_of_run = dict(doc.get("stack_of_run") or {})
+        return experiment
 
     def _archive_telemetry(self, span) -> None:
         """Archive the whole experiment's trace (spans + metrics +

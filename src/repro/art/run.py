@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 from repro.common.errors import ValidationError
 from repro.common.ids import new_uuid
 from repro.common.timeutil import iso_now
-from repro import telemetry
+from repro import chaos, telemetry
 from repro.art.artifact import Artifact, load_disk_image
 from repro.art.db import ArtifactDB
 from repro.gpu.config import GPUConfig
@@ -341,6 +341,9 @@ class Gem5Run:
     def _set_status(
         self, status: RunStatus, results=None, extra=None
     ) -> None:
+        chaos.fire(
+            "run.status", run_id=self.run_id, status=status.value
+        )
         self.status = status
         update = {"$set": {"status": status.value}}
         if results is not None:

@@ -12,7 +12,12 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.art.run import Gem5Run
-from repro.scheduler import SchedulerApp, SimplePool, TaskState
+from repro.scheduler import (
+    RetryPolicy,
+    SchedulerApp,
+    SimplePool,
+    TaskState,
+)
 from repro.telemetry import get_tracer
 from repro.scheduler.batch import (
     BatchSystem,
@@ -52,16 +57,22 @@ def run_jobs_scheduler(
     runs: Sequence[Gem5Run],
     worker_count: int = 4,
     timeout_per_job: float = None,
+    retry_policy: RetryPolicy = None,
 ) -> List[Dict[str, object]]:
     """Execute runs through the Celery-like scheduler app.
 
     Each job's gem5art timeout is enforced by the scheduler; jobs that
     exceed it are reported with a ``timed_out`` summary rather than
     raising, since a timeout is a recorded outcome for the database.
+
+    ``retry_policy`` opts jobs into the scheduler's retry/backoff
+    machinery (e.g. re-running simulations that died on flaky
+    infrastructure); the default stays fail-fast, recording the first
+    failure.
     """
     app = SchedulerApp(name="gem5art", worker_count=worker_count)
 
-    @app.task(name="gem5art.run_gem5_job")
+    @app.task(name="gem5art.run_gem5_job", retry_policy=retry_policy)
     def run_gem5_job(index: int):
         return runs[index].run()
 

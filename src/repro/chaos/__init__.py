@@ -1,0 +1,56 @@
+"""Seed-driven chaos engineering for the experiment stack.
+
+The resilience contract of this codebase — retries with backoff, task
+leases, crash-resumable experiments, content-verified blobs — is only
+credible if every recovery path is *exercised*.  This package provides the
+exerciser: a deterministic fault injector whose failure schedule is a pure
+function of a seed, so any failure a chaos test provokes can be replayed
+exactly from ``(seed, rules)`` alone.  Reproducibility includes
+reproducing what happens when infrastructure fails.
+
+Failure points currently wired into production code:
+
+======================  ====================================================
+point                   fired
+======================  ====================================================
+``filestore.put``       before a blob write (:meth:`FileStore.put_bytes`)
+``filestore.get``       before a blob read (:meth:`FileStore.get_bytes`)
+``backend.transition``  before a task state transition is applied
+``task.execute``        on the worker thread, before a task attempt
+``task.run``            on the task helper thread, inside the task body
+``run.status``          before a run document status update
+======================  ====================================================
+
+Usage::
+
+    from repro import chaos
+
+    rules = [chaos.FaultRule("task.execute", action="crash", times=1)]
+    with chaos.injected(seed=7, rules=rules) as injector:
+        ...  # first task attempt kills its worker; recovery must kick in
+    assert injector.report()  # what fired, deterministically
+"""
+
+from repro.chaos.injector import (
+    ACTIONS,
+    ChaosInjector,
+    FaultRule,
+    WorkerCrashed,
+    active,
+    fire,
+    injected,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "ACTIONS",
+    "ChaosInjector",
+    "FaultRule",
+    "WorkerCrashed",
+    "active",
+    "fire",
+    "injected",
+    "install",
+    "uninstall",
+]

@@ -7,7 +7,9 @@ experiments without writing a launch script:
 - ``selftest [--isa ISA]``      — run the gem5-tests resource;
 - ``boot-tests [--quick]``      — regenerate the Fig 8 grid;
 - ``parsec [--apps ...]``       — regenerate Figs 6/7 (optionally reduced);
-- ``gpu``                       — regenerate Fig 9.
+- ``gpu``                       — regenerate Fig 9;
+- ``resume <experiment> --db``  — finish an interrupted experiment (skips
+  runs the database already marks done).
 """
 
 from __future__ import annotations
@@ -88,6 +90,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     report.add_argument("archive", help="path to an exported archive")
 
+    resume = commands.add_parser(
+        "resume",
+        help="resume an interrupted experiment: skip finished runs, "
+        "re-run the rest (idempotent by run id)",
+    )
+    resume.add_argument(
+        "experiment", help="experiment name or id in the database"
+    )
+    resume.add_argument(
+        "--db", required=True, metavar="URI",
+        help="database URI the experiment was recorded into "
+        "(file:///dir for anything that survives a crash)",
+    )
+    resume.add_argument(
+        "--backend", default="pool",
+        choices=("pool", "scheduler", "inline"),
+    )
+    resume.add_argument("--workers", type=int, default=4)
+    resume.add_argument(
+        "--retry-failures", action="store_true",
+        help="also re-queue runs that finished as failed/timed_out",
+    )
+
     trace = commands.add_parser(
         "trace",
         help="render an archived experiment timeline (requires a run "
@@ -118,6 +143,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gpu": _cmd_gpu,
         "rate": _cmd_rate,
         "report": _cmd_report,
+        "resume": _cmd_resume,
         "trace": _cmd_trace,
     }[args.command]
     return handler(args)
@@ -392,6 +418,53 @@ def _cmd_rate(args) -> int:
              f"{rates[8] / rates[1]:.2f}x"]
         )
     print(table.render())
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.art import ArtifactDB, Experiment
+    from repro.common.errors import ReproError
+    from repro.db import connect
+
+    try:
+        db = ArtifactDB(connect(args.db))
+        experiment = Experiment.load(db, args.experiment)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    pending = experiment.pending_runs(
+        retry_failures=args.retry_failures
+    )
+    report = experiment.report()
+    total = report["runs"]
+    if not pending:
+        print(
+            f"nothing to resume: all {total} runs of "
+            f"{experiment.name!r} are finished"
+        )
+        return 0
+    print(
+        f"resuming {experiment.name!r}: {len(pending)} of {total} runs "
+        f"pending ({args.backend} backend, {args.workers} workers)"
+    )
+    try:
+        experiment.resume(
+            backend=args.backend,
+            workers=args.workers,
+            retry_failures=args.retry_failures,
+        )
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    db.save()
+    report = experiment.report()
+    for stack, counts in sorted(report["by_stack"].items()):
+        line = ", ".join(
+            f"{status}={count}"
+            for status, count in sorted(counts.items())
+        )
+        print(f"{stack:<24} {line}")
+    print(f"\nexperiment {experiment.experiment_id} is up to date")
     return 0
 
 

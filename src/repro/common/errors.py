@@ -24,3 +24,15 @@ class DuplicateError(ReproError):
 class StateError(ReproError):
     """An operation was attempted in an invalid state (e.g. reusing a closed
     database handle, completing a task twice)."""
+
+
+class CorruptBlobError(ReproError):
+    """A stored blob's bytes no longer hash to its content id — the file
+    was truncated, bit-flipped, or overwritten outside the store."""
+
+
+class FaultInjectedError(ReproError):
+    """An error deliberately raised by :mod:`repro.chaos` at an injection
+    point.  Recovery code must treat it exactly like the organic failure it
+    stands in for; tests match on this type to tell injected faults from
+    real bugs."""

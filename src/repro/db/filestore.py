@@ -15,7 +15,8 @@ import os
 import threading
 from typing import Dict, List, Optional
 
-from repro.common.errors import NotFoundError
+from repro import chaos
+from repro.common.errors import CorruptBlobError, NotFoundError
 from repro.common.hashing import sha256_bytes
 
 
@@ -35,6 +36,7 @@ class FileStore:
     def put_bytes(self, data: bytes, filename: str = None) -> str:
         """Store a byte string; returns its content id.  Idempotent."""
         digest = sha256_bytes(data)
+        chaos.fire("filestore.put", digest=digest, filename=filename)
         with self._lock:
             if not self.exists(digest):
                 if self.root is None:
@@ -61,16 +63,32 @@ class FileStore:
     # ----------------------------------------------------------------- get
 
     def get_bytes(self, digest: str) -> bytes:
+        """Read a blob back, verifying it still hashes to its id.
+
+        Content addressing makes integrity checkable for free: a blob
+        whose bytes no longer produce ``digest`` was corrupted on disk
+        (truncation, bit rot, an out-of-band overwrite) and is reported
+        as :class:`CorruptBlobError` rather than silently returned.
+        """
+        chaos.fire("filestore.get", digest=digest)
         with self._lock:
             if self.root is None:
                 if digest not in self._memory:
                     raise NotFoundError(f"no blob with id {digest}")
-                return self._memory[digest]
-            path = self._blob_path(digest)
-            if not os.path.isfile(path):
-                raise NotFoundError(f"no blob with id {digest}")
-            with open(path, "rb") as handle:
-                return handle.read()
+                data = self._memory[digest]
+            else:
+                path = self._blob_path(digest)
+                if not os.path.isfile(path):
+                    raise NotFoundError(f"no blob with id {digest}")
+                with open(path, "rb") as handle:
+                    data = handle.read()
+        actual = sha256_bytes(data)
+        if actual != digest:
+            raise CorruptBlobError(
+                f"blob {digest} is corrupt: content hashes to {actual} "
+                f"({len(data)} bytes on disk)"
+            )
+        return data
 
     def download_to(self, digest: str, destination: str) -> None:
         """Copy a blob out to a host path (gem5art's downloadFile)."""

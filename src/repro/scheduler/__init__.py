@@ -14,7 +14,9 @@ evaluations, and threads share the in-process database):
 """
 
 from repro.scheduler.states import TaskState
-from repro.scheduler.result import AsyncResult
+from repro.scheduler.result import AsyncResult, ResultBackend
+from repro.scheduler.retry import RetryPolicy, TaskOutcome
+from repro.scheduler.lease import DEFAULT_LEASE_TTL, Lease, LeaseManager
 from repro.scheduler.broker import Broker, TaskMessage
 from repro.scheduler.app import SchedulerApp
 from repro.scheduler.pool import SimplePool
@@ -29,6 +31,12 @@ from repro.scheduler.batch import (
 __all__ = [
     "TaskState",
     "AsyncResult",
+    "ResultBackend",
+    "RetryPolicy",
+    "TaskOutcome",
+    "DEFAULT_LEASE_TTL",
+    "Lease",
+    "LeaseManager",
     "Broker",
     "TaskMessage",
     "SchedulerApp",

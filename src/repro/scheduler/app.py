@@ -4,21 +4,45 @@ A :class:`SchedulerApp` owns the broker, the result backend, a registry of
 task functions, and a pool of worker threads.  Task functions are registered
 with the ``@app.task(...)`` decorator and submitted with ``apply_async``,
 matching how gem5art launch scripts fan out gem5 jobs.
+
+Resilience model (see ``docs/robustness.md``):
+
+- Every attempt runs on a helper thread while the worker thread heartbeats
+  the task's **lease**; a worker that crashes mid-task stops heartbeating,
+  the lease expires, and the **reaper** re-publishes the message for
+  another worker (bounded by ``max_redeliveries``) — so ``drain()`` cannot
+  hang on a dead worker.
+- Failed attempts are retried by a single loop-based :class:`RetryPolicy`
+  with deterministic, seeded exponential backoff; exhausted tasks are
+  parked in the result backend's **dead-letter** record.
+- Helper threads abandoned by timed-out tasks are tracked (the
+  ``scheduler_leaked_threads`` gauge) and capped.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import chaos
 from repro.common.errors import NotFoundError, StateError, ValidationError
 from repro.scheduler.broker import Broker, TaskMessage
+from repro.scheduler.lease import DEFAULT_LEASE_TTL
 from repro.scheduler.result import AsyncResult, ResultBackend
+from repro.scheduler.retry import RetryPolicy, TaskOutcome
 from repro.scheduler.states import TaskState
-from repro.telemetry import get_metrics, get_tracer
+from repro.telemetry import get_event_log, get_metrics, get_tracer
 
 _POLL_INTERVAL = 0.05
+
+#: Extra deliveries a message may receive after worker crashes before it
+#: is dead-lettered (the first delivery is not a *re*-delivery).
+DEFAULT_MAX_REDELIVERIES = 3
+
+#: Ceiling on live helper threads abandoned by timed-out tasks.
+DEFAULT_MAX_LEAKED_THREADS = 64
 
 
 class RegisteredTask:
@@ -32,12 +56,14 @@ class RegisteredTask:
         name: str,
         max_retries: int,
         timeout: Optional[float],
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.app = app
         self.func = func
         self.name = name
         self.max_retries = max_retries
         self.timeout = timeout
+        self.retry_policy = retry_policy
 
     def __call__(self, *args, **kwargs):
         return self.func(*args, **kwargs)
@@ -55,24 +81,45 @@ class RegisteredTask:
             kwargs=kwargs or {},
             timeout=self.timeout if timeout is None else timeout,
             max_retries=self.max_retries,
+            retry_policy=self.retry_policy,
         )
 
 
 class SchedulerApp:
     """Task registry + broker + result backend + worker pool."""
 
-    def __init__(self, name: str = "repro", worker_count: int = 2):
+    def __init__(
+        self,
+        name: str = "repro",
+        worker_count: int = 2,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_redeliveries: int = DEFAULT_MAX_REDELIVERIES,
+        max_leaked_threads: int = DEFAULT_MAX_LEAKED_THREADS,
+        respawn_workers: bool = True,
+    ):
         if worker_count < 1:
             raise ValidationError("worker_count must be >= 1")
+        if max_redeliveries < 0 or max_leaked_threads < 1:
+            raise ValidationError(
+                "max_redeliveries must be >= 0 and max_leaked_threads >= 1"
+            )
         self.name = name
-        self.broker = Broker()
+        self.broker = Broker(lease_ttl=lease_ttl)
         self.backend = ResultBackend()
         self.worker_count = worker_count
+        self.max_redeliveries = max_redeliveries
+        self.max_leaked_threads = max_leaked_threads
+        self._respawn_workers = respawn_workers
+        self._heartbeat_interval = max(0.005, min(_POLL_INTERVAL, lease_ttl / 5))
+        self._reap_interval = max(0.005, min(_POLL_INTERVAL, lease_ttl / 4))
         self._tasks: Dict[str, RegisteredTask] = {}
         self._workers: list = []
+        self._reaper: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._started = False
         self._lock = threading.Lock()
+        self._leak_lock = threading.Lock()
+        self._leaked: list = []
         # Submitted-but-not-finished count; drain() sleeps on the
         # condition instead of polling the queue length.
         self._inflight = 0
@@ -85,8 +132,14 @@ class SchedulerApp:
         name: str = None,
         max_retries: int = 0,
         timeout: float = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> Callable:
-        """Decorator registering a function as a named task."""
+        """Decorator registering a function as a named task.
+
+        ``retry_policy`` overrides ``max_retries`` and adds backoff/
+        retry-class control; a bare ``max_retries`` keeps the historical
+        immediate-retry behaviour.
+        """
 
         def decorator(func: Callable) -> RegisteredTask:
             task_name = name or f"{func.__module__}.{func.__qualname__}"
@@ -95,7 +148,12 @@ class SchedulerApp:
                     f"task {task_name!r} already registered"
                 )
             registered = RegisteredTask(
-                self, func, task_name, max_retries, timeout
+                self,
+                func,
+                task_name,
+                retry_policy.max_retries if retry_policy else max_retries,
+                timeout,
+                retry_policy,
             )
             self._tasks[task_name] = registered
             return registered
@@ -114,6 +172,7 @@ class SchedulerApp:
         kwargs: Dict[str, Any] = None,
         timeout: float = None,
         max_retries: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> AsyncResult:
         if name not in self._tasks:
             raise NotFoundError(f"no task registered as {name!r}")
@@ -122,7 +181,10 @@ class SchedulerApp:
             args=tuple(args),
             kwargs=dict(kwargs or {}),
             timeout=timeout,
-            max_retries=max_retries,
+            max_retries=(
+                retry_policy.max_retries if retry_policy else max_retries
+            ),
+            retry_policy=retry_policy,
             trace_context=get_tracer().current_context_dict(),
         )
         self.backend.create(message.task_id)
@@ -148,29 +210,63 @@ class SchedulerApp:
                 return
             self._started = True
             for index in range(self.worker_count):
-                worker = threading.Thread(
-                    target=self._worker_loop,
-                    name=f"{self.name}-worker-{index}",
-                    daemon=True,
-                )
-                worker.start()
-                self._workers.append(worker)
+                self._workers.append(self._spawn_worker(index))
+            self._reaper = threading.Thread(
+                target=self._reaper_loop,
+                name=f"{self.name}-reaper",
+                daemon=True,
+            )
+            self._reaper.start()
+
+    def _spawn_worker(self, index: int) -> threading.Thread:
+        worker = threading.Thread(
+            target=self._worker_loop,
+            name=f"{self.name}-worker-{index}",
+            daemon=True,
+        )
+        worker.start()
+        return worker
 
     def _worker_loop(self) -> None:
+        worker = threading.current_thread().name
         while not self._stop.is_set():
             message = self.broker.consume(timeout=_POLL_INTERVAL)
             if message is None:
                 continue
+            self.broker.leases.acquire(message, worker)
             try:
                 self._execute(message)
-            finally:
-                self._task_done()
+            except BaseException as error:
+                # The worker is dying mid-task — a chaos-injected crash or
+                # an internal scheduler error.  Leave the lease unreleased
+                # and the in-flight count intact: the reaper will notice
+                # the silence, then re-publish or dead-letter the message.
+                self._note_worker_death(worker, message, error)
+                return
+            self.broker.leases.release(message.task_id)
+            self._task_done()
+
+    def _note_worker_death(
+        self, worker: str, message: TaskMessage, error: BaseException
+    ) -> None:
+        get_metrics().counter(
+            "scheduler_worker_crashes_total",
+            "Worker threads that died mid-task",
+        ).inc(app=self.name)
+        get_event_log().emit(
+            "worker.crashed",
+            worker=worker,
+            task_id=message.task_id,
+            error=type(error).__name__,
+        )
 
     def _task_done(self) -> None:
         with self._idle:
             self._inflight -= 1
             if self._inflight <= 0:
                 self._idle.notify_all()
+
+    # ------------------------------------------------------------ execution
 
     def _execute(self, message: TaskMessage) -> None:
         if self.broker.is_revoked(message.task_id):
@@ -192,61 +288,254 @@ class SchedulerApp:
             )
 
     def _execute_message(self, message: TaskMessage) -> None:
-        task = self._tasks[message.task_name]
-        self.backend.transition(message.task_id, TaskState.STARTED)
-        outcome = _run_with_timeout(
-            task.func, message.args, message.kwargs, message.timeout
-        )
-        kind, payload = outcome
-        if kind == "success":
-            self.backend.transition(
-                message.task_id, TaskState.SUCCESS, result=payload
-            )
-        elif kind == "timeout":
-            self.backend.transition(
-                message.task_id,
-                TaskState.TIMEOUT,
-                error=f"timed out after {message.timeout}s",
-            )
-        elif message.retries < message.max_retries:
-            self.backend.transition(message.task_id, TaskState.RETRY)
-            message.retries += 1
-            self.backend.transition(message.task_id, TaskState.STARTED)
-            self.broker_retry(message)
-        else:
-            self.backend.transition(
-                message.task_id, TaskState.FAILURE, error=payload
-            )
+        """Run a message to a terminal state through one retry loop.
 
-    def broker_retry(self, message: TaskMessage) -> None:
-        """Re-execute a retried message inline on this worker.
-
-        Inline (rather than re-published) execution keeps retry order
-        deterministic, which the integration tests rely on.
+        Retries are iterative, not recursive, so an arbitrarily large
+        retry budget cannot blow the stack; the loop is also the single
+        place outcome handling happens (success / timeout / retry /
+        failure / dead-letter).
         """
-        task = self._tasks[message.task_name]
-        kind, payload = _run_with_timeout(
-            task.func, message.args, message.kwargs, message.timeout
+        chaos.fire(
+            "task.execute",
+            task_id=message.task_id,
+            task_name=message.task_name,
+            worker=threading.current_thread().name,
+            delivery=message.deliveries,
         )
-        if kind == "success":
-            self.backend.transition(
-                message.task_id, TaskState.SUCCESS, result=payload
-            )
-        elif kind == "timeout":
-            self.backend.transition(
-                message.task_id,
-                TaskState.TIMEOUT,
-                error=f"timed out after {message.timeout}s",
-            )
-        elif message.retries < message.max_retries:
-            self.backend.transition(message.task_id, TaskState.RETRY)
-            message.retries += 1
+        task = self._tasks[message.task_name]
+        policy = message.retry_policy or RetryPolicy(
+            max_retries=message.max_retries
+        )
+        while True:
             self.backend.transition(message.task_id, TaskState.STARTED)
-            self.broker_retry(message)
-        else:
-            self.backend.transition(
-                message.task_id, TaskState.FAILURE, error=payload
+            outcome = self._run_attempt(task, message)
+            if outcome.kind == "success":
+                self.backend.transition(
+                    message.task_id,
+                    TaskState.SUCCESS,
+                    result=outcome.value,
+                )
+                return
+            if outcome.kind == "timeout":
+                self.backend.transition(
+                    message.task_id, TaskState.TIMEOUT, error=outcome.error
+                )
+                return
+            if policy.should_retry(message.retries, outcome.exception):
+                self.backend.transition(message.task_id, TaskState.RETRY)
+                message.retries += 1
+                delay = policy.backoff(message.task_name, message.retries)
+                get_event_log().emit(
+                    "task.retry",
+                    task_id=message.task_id,
+                    task_name=message.task_name,
+                    attempt=message.retries,
+                    delay=delay,
+                )
+                if delay > 0:
+                    self._sleep_with_heartbeat(message.task_id, delay)
+                continue
+            if policy.max_retries > 0 and (
+                message.retries >= policy.max_retries
+            ):
+                self.backend.dead_letter(message, error=outcome.error)
+            else:
+                self.backend.transition(
+                    message.task_id, TaskState.FAILURE, error=outcome.error
+                )
+            return
+
+    def _run_attempt(
+        self, task: RegisteredTask, message: TaskMessage
+    ) -> TaskOutcome:
+        """Run one attempt on a helper thread, heartbeating the lease.
+
+        The helper thread lets the worker thread keep renewing the task's
+        lease while user code runs (and enforce the timeout); on timeout
+        the helper is abandoned — acceptable because simulator jobs are
+        pure computations — but *tracked*, so leaks are observable and
+        capped instead of silently accumulating.
+        """
+        leaked = self._prune_leaked()
+        if leaked >= self.max_leaked_threads:
+            error = (
+                f"refusing to start task {message.task_name!r}: {leaked} "
+                "helper threads leaked by timed-out tasks are still "
+                f"running (cap {self.max_leaked_threads}); raise "
+                "max_leaked_threads or fix the hung tasks"
             )
+            return TaskOutcome(
+                "error", error=error, exception=StateError(error)
+            )
+        box: Dict[str, Any] = {}
+        tracer = get_tracer()
+        parent_context = tracer.current_context_dict()
+
+        def target():
+            try:
+                with tracer.activate(parent_context):
+                    chaos.fire(
+                        "task.run",
+                        task_id=message.task_id,
+                        task_name=message.task_name,
+                    )
+                    box["value"] = task.func(*message.args, **message.kwargs)
+            except Exception as error:
+                box["exception"] = error
+                box["error"] = traceback.format_exc()
+
+        helper = threading.Thread(
+            target=target,
+            name=(
+                f"{threading.current_thread().name}"
+                f"-attempt-{message.task_id[:8]}"
+            ),
+            daemon=True,
+        )
+        helper.start()
+        deadline = (
+            None
+            if message.timeout is None
+            else time.monotonic() + message.timeout
+        )
+        while True:
+            wait = self._heartbeat_interval
+            if deadline is not None:
+                wait = min(wait, max(0.0, deadline - time.monotonic()))
+            helper.join(timeout=wait)
+            if not helper.is_alive():
+                break
+            self.broker.leases.heartbeat(message.task_id)
+            if deadline is not None and time.monotonic() >= deadline:
+                self._register_leak(helper)
+                return TaskOutcome(
+                    "timeout",
+                    error=f"timed out after {message.timeout}s",
+                )
+        if "error" in box:
+            return TaskOutcome(
+                "error",
+                error=box["error"],
+                exception=box.get("exception"),
+            )
+        if "value" not in box:
+            return TaskOutcome(
+                "error",
+                error="task helper thread died without an outcome",
+            )
+        return TaskOutcome("success", value=box["value"])
+
+    def _sleep_with_heartbeat(self, task_id: str, delay: float) -> None:
+        """Backoff sleep that keeps the task's lease alive."""
+        deadline = time.monotonic() + delay
+        while not self._stop.is_set():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            self._stop.wait(min(self._heartbeat_interval, remaining))
+            self.broker.leases.heartbeat(task_id)
+
+    # --------------------------------------------------------- leak tracking
+
+    def _leaked_gauge(self):
+        return get_metrics().gauge(
+            "scheduler_leaked_threads",
+            "Live helper threads abandoned by timed-out tasks",
+        )
+
+    def _prune_leaked(self) -> int:
+        with self._leak_lock:
+            self._leaked = [t for t in self._leaked if t.is_alive()]
+            count = len(self._leaked)
+        self._leaked_gauge().set(count, app=self.name)
+        return count
+
+    def _register_leak(self, thread: threading.Thread) -> None:
+        with self._leak_lock:
+            self._leaked.append(thread)
+            count = sum(1 for t in self._leaked if t.is_alive())
+        self._leaked_gauge().set(count, app=self.name)
+        get_event_log().emit("task.thread_leaked", thread=thread.name)
+
+    def leaked_threads(self) -> int:
+        """Live helper threads abandoned by timed-out tasks (pruned)."""
+        return self._prune_leaked()
+
+    # -------------------------------------------------------------- reaper
+
+    def _reaper_loop(self) -> None:
+        while not self._stop.wait(self._reap_interval):
+            self._reap_once()
+
+    def _reap_once(self) -> None:
+        """One maintenance pass: respawn dead workers, reclaim leases."""
+        if self._respawn_workers:
+            self._respawn_dead_workers()
+        for lease in self.broker.leases.expired():
+            message = lease.message
+            try:
+                state = self.backend.state(message.task_id)
+            except NotFoundError:  # pragma: no cover - defensive
+                continue
+            if state.is_terminal:
+                # The worker finished but died (or raced) before
+                # releasing; nothing to recover.
+                continue
+            get_metrics().counter(
+                "scheduler_lease_expirations_total",
+                "Task leases that expired and were reclaimed",
+            ).inc(app=self.name)
+            get_event_log().emit(
+                "task.lease_expired",
+                task_id=message.task_id,
+                worker=lease.worker,
+                deliveries=message.deliveries,
+            )
+            try:
+                if message.deliveries > self.max_redeliveries:
+                    self.backend.dead_letter(
+                        message,
+                        error=(
+                            f"lease expired after {message.deliveries} "
+                            f"deliveries (last worker {lease.worker} "
+                            "presumed dead)"
+                        ),
+                    )
+                    # The crashed workers never decremented the in-flight
+                    # count; parking the task finishes it.
+                    self._task_done()
+                else:
+                    if state is not TaskState.PENDING:
+                        self.backend.transition(
+                            message.task_id, TaskState.RETRY
+                        )
+                    self.broker.publish(message)
+            except StateError:
+                # Raced with a worker completing the task after all.
+                continue
+
+    def _respawn_dead_workers(self) -> None:
+        alive = 0
+        with self._lock:
+            if not self._started or self._stop.is_set():
+                return
+            for index, worker in enumerate(self._workers):
+                if worker.is_alive():
+                    alive += 1
+                    continue
+                self._workers[index] = self._spawn_worker(index)
+                alive += 1
+                get_metrics().counter(
+                    "scheduler_worker_respawns_total",
+                    "Dead worker threads replaced by the reaper",
+                ).inc(app=self.name)
+                get_event_log().emit(
+                    "worker.respawned", worker=worker.name
+                )
+        get_metrics().gauge(
+            "scheduler_workers_alive",
+            "Worker threads currently alive",
+        ).set(alive, app=self.name)
 
     # ------------------------------------------------------------ shutdown
 
@@ -256,7 +545,9 @@ class SchedulerApp:
         Waits on the in-flight condition rather than sleep-polling the
         queue length, so it returns the moment the last worker finishes
         (and, unlike a queue-length poll, also covers tasks a worker has
-        already dequeued but not completed).
+        already dequeued but not completed).  Tasks stranded by worker
+        crashes are recovered by the reaper — redelivered or
+        dead-lettered — so a dead worker cannot wedge the drain.
         """
         with self._idle:
             if not self._idle.wait_for(
@@ -271,46 +562,10 @@ class SchedulerApp:
         self._stop.set()
         for worker in self._workers:
             worker.join(timeout=2.0)
+        if self._reaper is not None:
+            self._reaper.join(timeout=2.0)
         self._workers.clear()
+        self._reaper = None
         with self._lock:
             self._started = False
         self._stop = threading.Event()
-
-
-def _run_with_timeout(
-    func: Callable, args: Tuple, kwargs: Dict, timeout: Optional[float]
-):
-    """Run ``func`` and classify the outcome.
-
-    Returns ("success", value), ("timeout", None) or ("error", traceback).
-    Timeouts are implemented by running the call in a helper thread and
-    abandoning it — acceptable because simulator jobs are pure computations
-    with no external side effects to clean up.  The worker's active span
-    context is re-activated on the helper thread so spans opened inside
-    the task still nest under the task span.
-    """
-    if timeout is None:
-        try:
-            return ("success", func(*args, **kwargs))
-        except Exception:
-            return ("error", traceback.format_exc())
-
-    box: Dict[str, Any] = {}
-    tracer = get_tracer()
-    parent_context = tracer.current_context_dict()
-
-    def target():
-        try:
-            with tracer.activate(parent_context):
-                box["value"] = func(*args, **kwargs)
-        except Exception:
-            box["error"] = traceback.format_exc()
-
-    helper = threading.Thread(target=target, daemon=True)
-    helper.start()
-    helper.join(timeout=timeout)
-    if helper.is_alive():
-        return ("timeout", None)
-    if "error" in box:
-        return ("error", box["error"])
-    return ("success", box.get("value"))

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.common.ids import new_uuid
+from repro.scheduler.lease import DEFAULT_LEASE_TTL, LeaseManager
+from repro.scheduler.retry import RetryPolicy
 
 
 @dataclass
@@ -22,6 +24,10 @@ class TaskMessage:
     span id, dict form) across the broker: worker threads cannot see the
     submitter's thread-local span stack, so the handle must travel in the
     message for telemetry to stitch experiment → task → run spans.
+
+    ``retries`` counts failed attempts consumed from the retry budget;
+    ``deliveries`` counts lease acquisitions (how many workers have picked
+    the message up), which is what bounds redelivery after crashes.
     """
 
     task_name: str
@@ -31,16 +37,23 @@ class TaskMessage:
     timeout: Optional[float] = None
     max_retries: int = 0
     retries: int = 0
+    deliveries: int = 0
+    retry_policy: Optional[RetryPolicy] = None
     trace_context: Optional[Dict[str, str]] = None
 
 
 class Broker:
-    """FIFO delivery of task messages to workers."""
+    """FIFO delivery of task messages to workers, with leases.
 
-    def __init__(self):
+    ``leases`` tracks which worker currently holds each dequeued message;
+    the scheduler's reaper re-publishes messages whose lease expired.
+    """
+
+    def __init__(self, lease_ttl: float = DEFAULT_LEASE_TTL):
         self._queue: "queue.Queue[TaskMessage]" = queue.Queue()
         self._revoked = set()
         self._lock = threading.Lock()
+        self.leases = LeaseManager(ttl=lease_ttl)
 
     def publish(self, message: TaskMessage) -> None:
         self._queue.put(message)

@@ -1,0 +1,109 @@
+"""Task leases: at-least-once delivery for crash-prone workers.
+
+A worker that dequeues a message holds a *lease* on it — a claim with a
+deadline.  Live workers renew the deadline by heartbeating while the task
+runs; if the worker dies (or wedges hard enough to stop heartbeating), the
+lease expires and the scheduler's reaper reclaims the message, either
+re-publishing it for another worker or dead-lettering it once its
+redelivery budget is spent.  This is the standard visibility-timeout
+contract of SQS/Pub-Sub brokers, reduced to one process: ``drain()`` can
+no longer hang forever on a task whose worker no longer exists.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.common.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scheduler.broker import TaskMessage
+
+#: Default time a worker may go silent before its task is reclaimed.
+DEFAULT_LEASE_TTL = 5.0
+
+
+@dataclass
+class Lease:
+    """One worker's claim on one in-flight task message."""
+
+    message: "TaskMessage"
+    worker: str
+    deadline: float
+    acquired_at: float
+
+    @property
+    def task_id(self) -> str:
+        return self.message.task_id
+
+
+class LeaseManager:
+    """Thread-safe registry of in-flight task leases."""
+
+    def __init__(self, ttl: float = DEFAULT_LEASE_TTL):
+        if ttl <= 0:
+            raise ValidationError("lease ttl must be positive")
+        self.ttl = ttl
+        self._lock = threading.Lock()
+        self._leases: Dict[str, Lease] = {}
+
+    def acquire(
+        self,
+        message: "TaskMessage",
+        worker: str,
+        ttl: Optional[float] = None,
+    ) -> Lease:
+        """Claim a message for ``worker``; counts one delivery."""
+        now = time.monotonic()
+        lease = Lease(
+            message=message,
+            worker=worker,
+            deadline=now + (self.ttl if ttl is None else ttl),
+            acquired_at=now,
+        )
+        with self._lock:
+            message.deliveries += 1
+            self._leases[message.task_id] = lease
+        return lease
+
+    def heartbeat(self, task_id: str, ttl: Optional[float] = None) -> bool:
+        """Renew a lease; returns False when it no longer exists (the
+        reaper already reclaimed it, or the task finished)."""
+        with self._lock:
+            lease = self._leases.get(task_id)
+            if lease is None:
+                return False
+            lease.deadline = time.monotonic() + (
+                self.ttl if ttl is None else ttl
+            )
+            return True
+
+    def release(self, task_id: str) -> Optional[Lease]:
+        """Drop a lease (task finished); idempotent."""
+        with self._lock:
+            return self._leases.pop(task_id, None)
+
+    def expired(self, now: Optional[float] = None) -> List[Lease]:
+        """Pop and return every lease past its deadline."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            dead = [
+                lease
+                for lease in self._leases.values()
+                if lease.deadline <= now
+            ]
+            for lease in dead:
+                del self._leases[lease.task_id]
+        return sorted(dead, key=lambda lease: lease.acquired_at)
+
+    def holder(self, task_id: str) -> Optional[str]:
+        with self._lock:
+            lease = self._leases.get(task_id)
+            return None if lease is None else lease.worker
+
+    def active(self) -> int:
+        with self._lock:
+            return len(self._leases)

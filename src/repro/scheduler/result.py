@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
+from repro import chaos
 from repro.common.errors import NotFoundError, StateError
 from repro.common.timeutil import iso_now
 from repro.scheduler.states import TaskState, can_transition
@@ -23,6 +24,7 @@ class ResultBackend:
 
     def __init__(self):
         self._records: Dict[str, Dict[str, Any]] = {}
+        self._dead_letters: List[Dict[str, Any]] = []
         self._lock = threading.Condition()
 
     def create(self, task_id: str) -> None:
@@ -50,6 +52,7 @@ class ResultBackend:
         result: Any = None,
         error: str = None,
     ) -> None:
+        chaos.fire("backend.transition", task_id=task_id, dst=state.value)
         with self._lock:
             record = self._get(task_id)
             current = record["state"]
@@ -84,6 +87,45 @@ class ResultBackend:
                 dst=state.value,
             )
             self._lock.notify_all()
+
+    def dead_letter(self, message, error: str = None) -> None:
+        """Park a task whose retry/redelivery budget is exhausted.
+
+        Besides the terminal ``DEAD_LETTER`` transition, a standalone
+        record is appended so operators can triage what was lost without
+        trawling every task record; ``message`` is a
+        :class:`~repro.scheduler.broker.TaskMessage`.
+        """
+        self.transition(
+            message.task_id, TaskState.DEAD_LETTER, error=error
+        )
+        with self._lock:
+            self._dead_letters.append(
+                {
+                    "task_id": message.task_id,
+                    "task_name": message.task_name,
+                    "retries": message.retries,
+                    "deliveries": message.deliveries,
+                    "error": error,
+                    "at_wall": iso_now(),
+                }
+            )
+        get_metrics().counter(
+            "scheduler_dead_letters_total",
+            "Tasks parked after exhausting retries/redeliveries",
+        ).inc(task_name=message.task_name)
+        get_event_log().emit(
+            "task.dead_letter",
+            task_id=message.task_id,
+            task_name=message.task_name,
+            retries=message.retries,
+            deliveries=message.deliveries,
+        )
+
+    def dead_letters(self) -> List[Dict[str, Any]]:
+        """Snapshot of every dead-letter record, in park order."""
+        with self._lock:
+            return [dict(record) for record in self._dead_letters]
 
     def state(self, task_id: str) -> TaskState:
         with self._lock:

@@ -1,0 +1,105 @@
+"""Retry policies with deterministic backoff.
+
+A :class:`RetryPolicy` answers three questions about a failed task attempt:
+*should* it be retried (budget left, exception class retryable), *when*
+(exponential backoff), and *exactly* when (seeded jitter).  Jitter is drawn
+from :mod:`repro.common.rng` streams keyed by ``(seed, key, attempt)``, so
+a retry schedule is a pure function of the policy and the task key — two
+replays of the same experiment produce bit-identical backoff sequences,
+which is what lets a chaos run be reproduced from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Type
+
+from repro.common.errors import ValidationError
+from repro.common.rng import RngStream
+
+
+@dataclass
+class TaskOutcome:
+    """Classification of one task attempt.
+
+    ``kind`` is ``"success"``, ``"timeout"`` or ``"error"``; ``error`` is
+    the human-readable text stored in the result backend and ``exception``
+    the original object (when available) so policies can match on type.
+    """
+
+    kind: str
+    value: Any = None
+    error: Optional[str] = None
+    exception: Optional[BaseException] = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) failed attempts of a task are retried.
+
+    ``base_delay`` of zero — the default — keeps retries immediate, which
+    preserves the scheduler's historical behaviour and keeps unit tests
+    fast; campaigns that hammer shared infrastructure opt into backoff.
+    """
+
+    max_retries: int = 0
+    base_delay: float = 0.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.0
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValidationError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError("jitter must be within [0, 1]")
+
+    # ----------------------------------------------------------- decisions
+
+    def should_retry(
+        self, retries_used: int, exception: Optional[BaseException]
+    ) -> bool:
+        """Whether a failed attempt gets another go."""
+        if retries_used >= self.max_retries:
+            return False
+        if exception is None:
+            # The attempt died without surfacing an exception object
+            # (e.g. its thread was killed); treat as transient.
+            return True
+        return isinstance(exception, self.retry_on)
+
+    # ------------------------------------------------------------ schedule
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """Delay in seconds before retry number ``attempt`` (1-based).
+
+        Deterministic: the jitter stream is derived from
+        ``(seed, key, attempt)``, never from wall clock or global RNG
+        state.
+        """
+        if attempt < 1:
+            raise ValidationError("attempt numbers are 1-based")
+        if self.base_delay <= 0:
+            return 0.0
+        delay = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        if self.jitter <= 0:
+            return delay
+        spread = self.jitter * delay
+        stream = RngStream(self.seed, "retry", key, str(attempt))
+        return max(0.0, delay + stream.uniform(-spread, spread))
+
+    def schedule(self, key: str) -> List[float]:
+        """The full backoff sequence for ``key`` — one delay per retry."""
+        return [
+            self.backoff(key, attempt)
+            for attempt in range(1, self.max_retries + 1)
+        ]

@@ -15,6 +15,9 @@ class TaskState(str, enum.Enum):
     FAILURE = "FAILURE"
     TIMEOUT = "TIMEOUT"
     REVOKED = "REVOKED"
+    #: Retry/redelivery budget exhausted; the task is parked with a
+    #: dead-letter record in the result backend for post-mortem triage.
+    DEAD_LETTER = "DEAD_LETTER"
 
     @property
     def is_terminal(self) -> bool:
@@ -24,26 +27,39 @@ class TaskState(str, enum.Enum):
             TaskState.FAILURE,
             TaskState.TIMEOUT,
             TaskState.REVOKED,
+            TaskState.DEAD_LETTER,
         )
 
 
 #: Transitions the result backend will accept; anything else is a bug.
 ALLOWED_TRANSITIONS = {
+    # PENDING -> DEAD_LETTER: a message can exhaust its redelivery budget
+    # without ever starting when every worker that picks it up crashes
+    # before the STARTED transition.
     TaskState.PENDING: {
         TaskState.STARTED,
         TaskState.REVOKED,
+        TaskState.DEAD_LETTER,
     },
     TaskState.STARTED: {
         TaskState.SUCCESS,
         TaskState.FAILURE,
         TaskState.TIMEOUT,
         TaskState.RETRY,
+        TaskState.DEAD_LETTER,
     },
-    TaskState.RETRY: {TaskState.STARTED, TaskState.REVOKED},
+    # RETRY -> DEAD_LETTER covers a reclaimed (lease-expired) task whose
+    # redelivery budget ran out before any worker picked it back up.
+    TaskState.RETRY: {
+        TaskState.STARTED,
+        TaskState.REVOKED,
+        TaskState.DEAD_LETTER,
+    },
     TaskState.SUCCESS: set(),
     TaskState.FAILURE: set(),
     TaskState.TIMEOUT: set(),
     TaskState.REVOKED: set(),
+    TaskState.DEAD_LETTER: set(),
 }
 
 

@@ -4,7 +4,11 @@ import datetime
 
 import pytest
 
-from repro.common.errors import NotFoundError, ValidationError
+from repro.common.errors import (
+    CorruptBlobError,
+    NotFoundError,
+    ValidationError,
+)
 from repro.db import connect
 from repro.db.database import Database
 from repro.db.filestore import FileStore
@@ -129,6 +133,29 @@ def test_filestore_missing_blob_raises():
         store.get_bytes("0" * 64)
     with pytest.raises(NotFoundError):
         store.metadata("0" * 64)
+
+
+def test_filestore_detects_on_disk_corruption(tmp_path):
+    store = FileStore(str(tmp_path / "blobs"))
+    digest = store.put_bytes(b"pristine disk image")
+    # Corrupt the blob behind the store's back (bit rot / truncation).
+    blob_path = tmp_path / "blobs" / digest
+    blob_path.write_bytes(b"pristine disk imagX")
+    with pytest.raises(CorruptBlobError, match=digest[:16]):
+        store.get_bytes(digest)
+    with pytest.raises(CorruptBlobError):
+        store.download_to(digest, str(tmp_path / "out.bin"))
+    # Healthy blobs in the same store still read fine.
+    other = store.put_bytes(b"healthy")
+    assert store.get_bytes(other) == b"healthy"
+
+
+def test_filestore_detects_in_memory_corruption():
+    store = FileStore(None)
+    digest = store.put_bytes(b"payload")
+    store._memory[digest] = b"tampered"
+    with pytest.raises(CorruptBlobError):
+        store.get_bytes(digest)
 
 
 def test_database_filestore_persists(tmp_path):

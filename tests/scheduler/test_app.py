@@ -102,7 +102,7 @@ def test_retry_until_success(app):
     assert app.backend.record(result.task_id)["retries"] == 2
 
 
-def test_retries_exhausted(app):
+def test_retries_exhausted_dead_letters(app):
     @app.task(name="always-bad", max_retries=2)
     def always_bad():
         raise RuntimeError("permanent")
@@ -110,8 +110,24 @@ def test_retries_exhausted(app):
     result = always_bad.apply_async()
     with pytest.raises(StateError):
         result.get(timeout=5)
-    assert result.state is TaskState.FAILURE
+    assert result.state is TaskState.DEAD_LETTER
     assert app.backend.record(result.task_id)["retries"] == 2
+    (record,) = app.backend.dead_letters()
+    assert record["task_name"] == "always-bad"
+    assert record["retries"] == 2
+    assert "permanent" in record["error"]
+
+
+def test_failure_without_retry_budget_is_not_dead_lettered(app):
+    @app.task(name="bad-no-retries")
+    def bad():
+        raise RuntimeError("permanent")
+
+    result = bad.apply_async()
+    with pytest.raises(StateError):
+        result.get(timeout=5)
+    assert result.state is TaskState.FAILURE
+    assert app.backend.dead_letters() == []
 
 
 def test_revoke_queued_task():

@@ -17,6 +17,7 @@ def test_terminal_states():
         TaskState.FAILURE,
         TaskState.TIMEOUT,
         TaskState.REVOKED,
+        TaskState.DEAD_LETTER,
     }
 
 

@@ -53,7 +53,7 @@ def test_scheduler_stress_state_machine():
         state = record["state"]
         assert state.is_terminal, (index, state)
         if index % 3 == 2:
-            assert state is TaskState.FAILURE
+            assert state is TaskState.DEAD_LETTER
             assert record["retries"] == RETRY_BUDGET
         else:
             assert state is TaskState.SUCCESS

@@ -122,6 +122,66 @@ def test_report_command_bad_archive(tmp_path, capsys):
     assert "error:" in capsys.readouterr().out
 
 
+def _interrupted_experiment(uri):
+    """Create a 2-run experiment on a file DB with only 1 run finished."""
+    from repro.art import ArtifactDB
+    from repro.db import connect
+    from tests.art.test_launch_share import make_experiment
+
+    db = ArtifactDB(connect(uri))
+    experiment = make_experiment(db)
+    runs = experiment.create_runs()
+    runs[0].run()
+    db.database.save()
+    return experiment, runs
+
+
+def test_resume_command_finishes_interrupted_experiment(tmp_path, capsys):
+    uri = f"file://{tmp_path}/expdb"
+    _interrupted_experiment(uri)
+    capsys.readouterr()  # discard setup output
+
+    assert main(["resume", "parsec-mini", "--db", uri]) == 0
+    out = capsys.readouterr().out
+    assert "resuming 'parsec-mini': 1 of 2 runs pending" in out
+    assert "up to date" in out
+
+    # The resumed state was persisted: a second invocation has no work.
+    assert main(["resume", "parsec-mini", "--db", uri]) == 0
+    out = capsys.readouterr().out
+    assert "nothing to resume: all 2 runs" in out
+
+
+def test_resume_command_backend_and_workers_flags(tmp_path, capsys):
+    uri = f"file://{tmp_path}/expdb"
+    _interrupted_experiment(uri)
+    capsys.readouterr()
+
+    assert (
+        main(
+            [
+                "resume",
+                "parsec-mini",
+                "--db",
+                uri,
+                "--backend",
+                "scheduler",
+                "--workers",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "scheduler backend, 2 workers" in out
+
+
+def test_resume_command_unknown_experiment(tmp_path, capsys):
+    uri = f"file://{tmp_path}/emptydb"
+    assert main(["resume", "ghost", "--db", uri]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
 def test_boot_tests_telemetry_then_trace(tmp_path, capsys):
     import json
 

@@ -1,10 +1,20 @@
-"""Result analysis — the Jupyter/Matplotlib stage of the paper's workflow.
+"""Analysis: result post-processing and the self-hosted lint framework.
 
-The paper's use cases end by querying MongoDB from a notebook and plotting
-with Matplotlib.  Offline we provide the same capability as composable
-pieces: :mod:`queries` pulls run summaries out of the database into flat
-records, :mod:`series` reshapes them (group-by, speedups, normalization),
-and :mod:`charts` renders ASCII bar charts and the Fig 8 status grid.
+Two halves share this package:
+
+- **Result analysis** — the Jupyter/Matplotlib stage of the paper's
+  workflow: :mod:`queries` pulls run summaries out of the database into
+  flat records, :mod:`series` reshapes them (group-by, speedups,
+  normalization), and :mod:`charts` renders ASCII bar charts and the
+  Fig 8 status grid.
+- **Static + dynamic analysis of the codebase itself** — the
+  determinism/concurrency/hygiene rule packs (:mod:`rules_determinism`,
+  :mod:`rules_concurrency`, :mod:`rules_hygiene`) running on the
+  :mod:`engine`, plus the dynamic lock-order checker
+  (:mod:`lockorder`).  This half is a *dev-tool layer*: it may import
+  anything for analysis purposes, but no runtime subsystem (scheduler,
+  sim, art, db) imports it back.  The ``repro lint`` CLI verb and CI
+  are its consumers.
 """
 
 from repro.analysis.queries import run_records, group_by, pivot
@@ -21,8 +31,43 @@ from repro.analysis.validation import (
     diagnose_configs,
     within_tolerance,
 )
+from repro.analysis.engine import Analyzer, Finding, Rule, iter_python_files
+from repro.analysis.rules_determinism import DETERMINISM_RULES
+from repro.analysis.rules_concurrency import CONCURRENCY_RULES
+from repro.analysis.rules_hygiene import HYGIENE_RULES
+from repro.analysis.lockorder import (
+    LockOrderMonitor,
+    OrderedCondition,
+    OrderedLock,
+    monitored,
+)
+
+
+def default_rules():
+    """One instance of every rule in the repo rule pack."""
+    classes = DETERMINISM_RULES + CONCURRENCY_RULES + HYGIENE_RULES
+    return [cls() for cls in classes]
+
+
+def lint_paths(paths):
+    """Run the full rule pack over files/directories; sorted findings."""
+    return Analyzer(default_rules()).analyze_paths(paths)
+
 
 __all__ = [
+    "Analyzer",
+    "Finding",
+    "Rule",
+    "iter_python_files",
+    "default_rules",
+    "lint_paths",
+    "DETERMINISM_RULES",
+    "CONCURRENCY_RULES",
+    "HYGIENE_RULES",
+    "LockOrderMonitor",
+    "OrderedCondition",
+    "OrderedLock",
+    "monitored",
     "experiment_report",
     "compare_stats",
     "diagnose_configs",

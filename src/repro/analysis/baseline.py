@@ -1,0 +1,84 @@
+"""Baseline files: ratchet, don't big-bang.
+
+A baseline records the fingerprints of known, accepted findings so that
+``repro lint`` fails CI only on *new* violations.  Fingerprints are
+content-based (file + rule + offending source line), so a baselined
+finding survives line-number churn but is invalidated — correctly — the
+moment the offending line itself changes.
+
+The intended workflow is a ratchet: baseline what exists today, fix at
+leisure, and never let the count grow.  ``--write-baseline`` rewrites
+the file from the current findings, which also drops entries for
+findings that were fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.engine import Finding
+from repro.common.errors import ValidationError
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Read accepted fingerprints; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValidationError(
+                f"baseline {path} is not valid JSON: {error}"
+            )
+    if (
+        not isinstance(payload, dict)
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise ValidationError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    fingerprints = set()
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValidationError(
+                f"baseline {path}: every finding needs a 'fingerprint'"
+            )
+        fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Accept the given findings as the new baseline."""
+    payload = {
+        "version": 1,
+        "findings": [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule_id,
+                "file": finding.file,
+                "line": finding.line,
+                "message": finding.message,
+            }
+            for finding in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def split_baselined(
+    findings: Iterable[Finding], accepted: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, baselined)."""
+    fresh: List[Finding] = []
+    known: List[Finding] = []
+    for finding in findings:
+        if finding.fingerprint in accepted:
+            known.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, known

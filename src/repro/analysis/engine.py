@@ -1,0 +1,333 @@
+"""The static-analysis rule engine.
+
+The analyzer is the enforcement arm of the reproducibility contract: the
+paper's claim that a run is explainable from the database alone only holds
+if *no* code path smuggles in wall-clock time, process-unique ids, or
+unseeded randomness — and the resilience layer's fifteen-odd lock sites
+only stay deadlock-free if their discipline is checked, not remembered.
+
+Design (one pass, many rules):
+
+- :class:`Analyzer` walks files, parses each into an AST, and performs a
+  *single* recursive traversal per file, dispatching every node to the
+  rules that registered interest in its type (``Rule.interests``).  Rules
+  therefore pay only for the nodes they asked for.
+- Rules receive a :class:`FileContext` carrying the source lines, the
+  logical module path (``repro.sim.engine``), an import-alias map so
+  ``from time import time as _t; _t()`` still resolves to ``time.time``,
+  and the ancestor stack (for "am I under a ``with`` holding a lock?"
+  questions).
+- Findings are plain :class:`Finding` records with a content-based
+  fingerprint (module + rule + stripped source line), so baselines
+  survive unrelated line-number churn.
+- ``# repro: noqa`` / ``# repro: noqa[RULE-ID,...]`` on the offending
+  line suppresses findings, with the pragma use itself auditable by
+  grep.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+#: Finding severities, most severe first (sort order relies on this).
+SEVERITIES = ("error", "warning", "info")
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9\-, ]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    file: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Content-based identity used by the baseline: stable across
+        line-number churn, invalidated when the offending line changes."""
+        digest = hashlib.sha256()
+        for part in (self.file, self.rule_id, self.snippet.strip()):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def sort_key(self) -> Tuple:
+        return (self.file, self.line, self.col, self.rule_id)
+
+
+class FileContext:
+    """Everything a rule may ask about the file under analysis."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.module = logical_module(path)
+        #: Ancestor stack of the node currently being dispatched
+        #: (outermost first, excluding the node itself).
+        self.ancestors: List[ast.AST] = []
+        self.imports = _collect_imports(tree)
+        self._noqa = _collect_noqa(self.lines)
+
+    # ----------------------------------------------------------- helpers
+
+    def in_module(self, *prefixes: str) -> bool:
+        """True when the file's logical module matches any dotted prefix."""
+        for prefix in prefixes:
+            if self.module == prefix or self.module.startswith(prefix + "."):
+                return True
+        return False
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a dotted name, following the
+        file's import aliases (``from time import time`` => ``time.time``).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        resolved = self.imports.get(root, root)
+        parts.append(resolved)
+        return ".".join(reversed(parts))
+
+    def enclosing_function(self) -> Optional[ast.AST]:
+        for node in reversed(self.ancestors):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    def enclosing_class(self) -> Optional[ast.ClassDef]:
+        for node in reversed(self.ancestors):
+            if isinstance(node, ast.ClassDef):
+                return node
+        return None
+
+    def suppressed(self, lineno: int, rule_id: str) -> bool:
+        rules = self._noqa.get(lineno)
+        if rules is None:
+            return False
+        return not rules or rule_id in rules
+
+
+class Rule:
+    """Base class for all rules.
+
+    Subclasses set ``rule_id``, ``severity``, ``description``, declare the
+    node types they want in ``interests``, and implement :meth:`visit`.
+    ``file_begin`` lets a rule precompute per-file state (e.g. which
+    ``self.X`` attributes are locks).
+    """
+
+    rule_id: str = "RULE"
+    severity: str = "warning"
+    description: str = ""
+    interests: Tuple[Type[ast.AST], ...] = ()
+
+    def file_begin(self, ctx: FileContext) -> None:
+        pass
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def file_end(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    # ----------------------------------------------------------- helpers
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            file=ctx.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            snippet=ctx.line_text(lineno).strip(),
+        )
+
+
+class Analyzer:
+    """File walker + per-rule visitor dispatch."""
+
+    def __init__(self, rules: Iterable[Rule]):
+        self.rules = list(rules)
+        by_id = {}
+        for rule in self.rules:
+            if rule.rule_id in by_id:
+                raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+            if rule.severity not in SEVERITIES:
+                raise ValueError(
+                    f"rule {rule.rule_id}: bad severity {rule.severity!r}"
+                )
+            by_id[rule.rule_id] = rule
+
+    # ------------------------------------------------------------ walking
+
+    def analyze_paths(self, paths: Iterable[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            findings.extend(self.analyze_file(path))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def analyze_file(self, path: str) -> List[Finding]:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return self.analyze_source(source, path)
+
+    def analyze_source(self, source: str, path: str) -> List[Finding]:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    file=path,
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    rule_id="PARSE",
+                    severity="error",
+                    message=f"syntax error: {error.msg}",
+                )
+            ]
+        ctx = FileContext(path, source, tree)
+        dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in self.rules:
+            rule.file_begin(ctx)
+            for node_type in rule.interests:
+                dispatch.setdefault(node_type, []).append(rule)
+        findings: List[Finding] = []
+
+        def visit(node: ast.AST) -> None:
+            for rule in dispatch.get(type(node), ()):
+                findings.extend(rule.visit(node, ctx))
+            ctx.ancestors.append(node)
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            ctx.ancestors.pop()
+
+        visit(tree)
+        for rule in self.rules:
+            findings.extend(rule.file_end(ctx))
+        findings = [
+            f
+            for f in findings
+            if not ctx.suppressed(f.line, f.rule_id)
+        ]
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+
+# ------------------------------------------------------------------ walking
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Yield ``.py`` files under each path, in sorted, deterministic
+    order; a path that is itself a file is yielded as-is."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d != "__pycache__"
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def logical_module(path: str) -> str:
+    """Map a filesystem path to a dotted module rooted at ``repro``.
+
+    ``src/repro/sim/engine.py`` → ``repro.sim.engine``; paths with no
+    ``repro`` component fall back to the stem, so fixture files in test
+    tmpdirs can still opt into zones by directory layout.
+    """
+    parts = list(os.path.normpath(path).split(os.sep))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[index:]
+    else:
+        parts = parts[-1:]
+    return ".".join(parts)
+
+
+# ---------------------------------------------------------------- internals
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    """Local name → fully qualified name, for alias resolution."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else local
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level:
+                continue  # relative imports keep their local meaning
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _collect_noqa(lines: List[str]) -> Dict[int, frozenset]:
+    """Line number → suppressed rule ids (empty set = all rules)."""
+    pragmas: Dict[int, frozenset] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            pragmas[lineno] = frozenset()
+        else:
+            pragmas[lineno] = frozenset(
+                rule.strip().upper()
+                for rule in rules.split(",")
+                if rule.strip()
+            )
+    return pragmas

@@ -1,0 +1,388 @@
+"""Dynamic lock-order checking: find ABBA deadlocks before they hang.
+
+Static rules can police single-file lock discipline, but an
+acquisition-order inversion lives *between* files: the reaper takes the
+lease lock then the backend's, a worker takes them the other way round,
+and the deadlock only fires under exactly the wrong interleaving.  The
+classic detector (Linux lockdep, TSan's deadlock detector) does not wait
+for the interleaving: it records the *acquisition graph* — an edge
+``A → B`` whenever a thread acquires ``B`` while holding ``A`` — and
+reports any cycle, because a cycle is a deadlock waiting for a schedule.
+
+Two ways in:
+
+- :class:`OrderedLock` / :class:`OrderedCondition`: explicit wrappers
+  for code that wants named, monitored locks in a test.
+- :func:`monitored`: a context manager that monkeypatches
+  ``threading.Lock`` / ``RLock`` / ``Condition`` / ``Semaphore`` so that
+  locks created *inside* the block by ``repro`` code are instrumented
+  transparently — build a ``SchedulerApp`` inside it and every lock in
+  the broker, lease manager, result backend and app is monitored with a
+  creation-site name like ``scheduler/app.py:120``.  Code outside the
+  ``repro`` tree (e.g. ``queue.Queue`` internals) keeps real locks.
+
+This is a dev-tool layer: nothing in ``repro.scheduler`` or ``repro.sim``
+imports this module; the instrumentation reaches them only through the
+installer at test time.  Detected cycles are reported through telemetry
+(``lockorder.cycle`` events, ``lockorder_cycles_total`` counter) so a
+monitored stress run archives its verdict with the rest of the run.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.telemetry import get_event_log, get_metrics
+
+
+class LockOrderMonitor:
+    """Records the lock-acquisition graph and finds cycles in it.
+
+    Thread-safe; one monitor watches any number of locks.  Edges carry
+    the first witness (thread plus held/acquired lock names) so a cycle
+    report points at code, not just at an abstract graph.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        # lock name -> names acquired while it was held
+        self._edges: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        self._held = threading.local()
+
+    # -------------------------------------------------------- acquisition
+
+    def note_acquire(self, name: str) -> None:
+        """Record that the current thread acquired ``name``."""
+        held: List[str] = getattr(self._held, "stack", None) or []
+        if name in held:
+            # Re-entrant acquisition (RLock); no new ordering information.
+            held.append(name)
+            self._held.stack = held
+            return
+        thread = threading.current_thread().name
+        with self._lock:
+            for holder in held:
+                if holder == name:
+                    continue
+                self._edges.setdefault(holder, {}).setdefault(
+                    name,
+                    {"thread": thread, "holding": list(held)},
+                )
+        held.append(name)
+        self._held.stack = held
+
+    def note_release(self, name: str) -> None:
+        """Record that the current thread released ``name``."""
+        held: List[str] = getattr(self._held, "stack", None) or []
+        # Release the innermost matching acquisition.
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == name:
+                held.pop(index)
+                break
+        self._held.stack = held
+
+    def held_by_current_thread(self) -> Tuple[str, ...]:
+        return tuple(getattr(self._held, "stack", None) or ())
+
+    # ------------------------------------------------------------- graphs
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """Every observed (held → acquired) pair, sorted."""
+        with self._lock:
+            return sorted(
+                (src, dst)
+                for src, dsts in self._edges.items()
+                for dst in dsts
+            )
+
+    def cycles(self) -> List[Tuple[str, ...]]:
+        """All elementary cycles in the acquisition graph, canonicalized.
+
+        A cycle ``(A, B)`` means some thread acquired B while holding A
+        and some thread acquired A while holding B — a deadlock schedule
+        exists.  Cycles are rotated to start at their smallest node and
+        deduplicated, so the report is deterministic.
+        """
+        with self._lock:
+            graph = {
+                src: sorted(dsts) for src, dsts in self._edges.items()
+            }
+        found: Set[Tuple[str, ...]] = set()
+        path: List[str] = []
+        on_path: Set[str] = set()
+        visited: Set[str] = set()
+
+        def walk(node: str) -> None:
+            path.append(node)
+            on_path.add(node)
+            for neighbor in graph.get(node, ()):
+                if neighbor in on_path:
+                    start = path.index(neighbor)
+                    found.add(_canonical(tuple(path[start:])))
+                elif neighbor not in visited:
+                    walk(neighbor)
+            on_path.discard(node)
+            path.pop()
+            visited.add(node)
+
+        for root in sorted(graph):
+            if root not in visited:
+                walk(root)
+        return sorted(found)
+
+    def report(self) -> Dict[str, Any]:
+        """Cycle verdict, published through telemetry.
+
+        Returns ``{"locks": n, "edges": [...], "cycles": [...]}`` and,
+        for each cycle, emits a ``lockorder.cycle`` event and bumps the
+        ``lockorder_cycles_total`` counter — a monitored run archives
+        its own deadlock analysis alongside spans and metrics.
+        """
+        edges = self.edges()
+        cycles = self.cycles()
+        names = sorted({name for edge in edges for name in edge})
+        for cycle in cycles:
+            get_metrics().counter(
+                "lockorder_cycles_total",
+                "Lock-acquisition-order cycles detected",
+            ).inc()
+            get_event_log().emit(
+                "lockorder.cycle", locks=" -> ".join(cycle + cycle[:1])
+            )
+        return {"locks": len(names), "edges": edges, "cycles": cycles}
+
+
+def _canonical(cycle: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Rotate a cycle so it starts at its lexicographically smallest
+    node; two rotations of the same cycle then compare equal."""
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]
+
+
+# ----------------------------------------------------------- instrumented
+
+
+class OrderedLock:
+    """A named lock that reports acquisitions to a monitor.
+
+    Wraps any object with ``acquire``/``release`` (Lock, RLock,
+    Semaphore); supports ``with``.  The wrapper is duck-type compatible
+    with ``threading.Condition(lock=...)``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        monitor: LockOrderMonitor,
+        inner: Optional[Any] = None,
+    ):
+        self.name = name
+        self.monitor = monitor
+        self._inner = threading.Lock() if inner is None else inner
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        acquired = self._inner.acquire(*args, **kwargs)
+        if acquired:
+            self.monitor.note_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self.monitor.note_release(self.name)
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        return locked() if locked is not None else False
+
+    def __enter__(self) -> "OrderedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"OrderedLock({self.name!r})"
+
+
+class OrderedCondition:
+    """A named condition variable reporting to a monitor.
+
+    ``wait`` releases the underlying lock, so the monitor is told about
+    the release/re-acquire pair — otherwise every post-wait acquisition
+    would appear to nest under the condition and fabricate edges.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        monitor: LockOrderMonitor,
+        inner: Optional[threading.Condition] = None,
+    ):
+        self.name = name
+        self.monitor = monitor
+        self._inner = inner if inner is not None else threading.Condition()
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        acquired = self._inner.acquire(*args, **kwargs)
+        if acquired:
+            self.monitor.note_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self.monitor.note_release(self.name)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self.monitor.note_release(self.name)
+        try:
+            return self._inner.wait(timeout=timeout)
+        finally:
+            self.monitor.note_acquire(self.name)
+
+    def wait_for(self, predicate, timeout: Optional[float] = None):
+        self.monitor.note_release(self.name)
+        try:
+            return self._inner.wait_for(predicate, timeout=timeout)
+        finally:
+            self.monitor.note_acquire(self.name)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+    def __enter__(self) -> "OrderedCondition":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"OrderedCondition({self.name!r})"
+
+
+# ------------------------------------------------------------ monkeypatch
+
+
+def _creation_site(depth: int = 2) -> str:
+    """``package-relative-file:lineno`` of the caller creating a lock."""
+    frame = sys._getframe(depth)
+    filename = frame.f_code.co_filename.replace("\\", "/")
+    marker = "/repro/"
+    index = filename.rfind(marker)
+    if index >= 0:
+        filename = filename[index + len(marker):]
+    else:
+        filename = filename.rsplit("/", 1)[-1]
+    return f"{filename}:{frame.f_lineno}"
+
+
+def _in_scope(depth: int, scope_marker: str) -> bool:
+    frame = sys._getframe(depth)
+    filename = frame.f_code.co_filename.replace("\\", "/")
+    if filename.endswith("analysis/lockorder.py"):
+        # The wrappers' own fallback locks must stay native, or every
+        # OrderedLock would recursively wrap another OrderedLock.
+        return False
+    return scope_marker in filename
+
+
+class _Installer:
+    """Swaps the ``threading`` lock factories for instrumented ones."""
+
+    FACTORIES = ("Lock", "RLock", "Condition", "Semaphore")
+
+    def __init__(self, monitor: LockOrderMonitor, scope_marker: str):
+        self.monitor = monitor
+        self.scope_marker = scope_marker
+        self._originals: Dict[str, Any] = {}
+        self._counts: Dict[str, int] = {}
+        self._counts_lock = threading.Lock()
+
+    def _name_for_site(self) -> str:
+        site = _creation_site(depth=3)
+        with self._counts_lock:
+            count = self._counts.get(site, 0)
+            self._counts[site] = count + 1
+        return site if count == 0 else f"{site}#{count}"
+
+    def install(self) -> None:
+        for factory in self.FACTORIES:
+            self._originals[factory] = getattr(threading, factory)
+        monitor = self.monitor
+        originals = self._originals
+        scope = self.scope_marker
+
+        def make_lock(*args: Any, **kwargs: Any):
+            if not _in_scope(2, scope):
+                return originals["Lock"](*args, **kwargs)
+            return OrderedLock(
+                self._name_for_site(),
+                monitor,
+                originals["Lock"](*args, **kwargs),
+            )
+
+        def make_rlock(*args: Any, **kwargs: Any):
+            if not _in_scope(2, scope):
+                return originals["RLock"](*args, **kwargs)
+            return OrderedLock(
+                self._name_for_site(),
+                monitor,
+                originals["RLock"](*args, **kwargs),
+            )
+
+        def make_condition(lock: Any = None):
+            if not _in_scope(2, scope):
+                return originals["Condition"](lock)
+            if isinstance(lock, OrderedLock):
+                # The lock is already monitored; the real Condition binds
+                # to its acquire/release, so waits are recorded through it.
+                return originals["Condition"](lock)
+            inner = originals["Condition"](lock)
+            return OrderedCondition(self._name_for_site(), monitor, inner)
+
+        def make_semaphore(*args: Any, **kwargs: Any):
+            if not _in_scope(2, scope):
+                return originals["Semaphore"](*args, **kwargs)
+            return OrderedLock(
+                self._name_for_site(),
+                monitor,
+                originals["Semaphore"](*args, **kwargs),
+            )
+
+        threading.Lock = make_lock
+        threading.RLock = make_rlock
+        threading.Condition = make_condition
+        threading.Semaphore = make_semaphore
+
+    def uninstall(self) -> None:
+        for factory, original in self._originals.items():
+            setattr(threading, factory, original)
+        self._originals.clear()
+
+
+@contextmanager
+def monitored(
+    scope_marker: str = "/repro/",
+) -> Iterator[LockOrderMonitor]:
+    """Instrument every lock created by in-scope code inside the block.
+
+    ``scope_marker`` is a path substring: only locks created from files
+    whose path contains it are wrapped (default: the ``repro`` package),
+    so stdlib internals keep their native locks.  Objects built inside
+    the block keep their instrumented locks after it exits — call
+    ``monitor.report()`` once the workload is done.
+    """
+    monitor = LockOrderMonitor()
+    installer = _Installer(monitor, scope_marker)
+    installer.install()
+    try:
+        yield monitor
+    finally:
+        installer.uninstall()

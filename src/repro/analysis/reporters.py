@@ -1,0 +1,60 @@
+"""Finding reporters: text for humans, JSON for CI.
+
+Both formats are deterministic (findings arrive pre-sorted from the
+engine; counters are emitted in sorted order) so two runs over the same
+tree produce byte-identical reports — the analyzer holds itself to the
+contract it enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.analysis.engine import SEVERITIES, Finding
+
+
+def severity_counts(findings: Iterable[Finding]) -> Dict[str, int]:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    return counts
+
+
+def render_text(
+    findings: List[Finding], baselined: int = 0
+) -> str:
+    """One line per finding plus a summary tail."""
+    lines = []
+    for finding in findings:
+        lines.append(
+            f"{finding.file}:{finding.line}:{finding.col}: "
+            f"{finding.rule_id} [{finding.severity}] {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    counts = severity_counts(findings)
+    summary = ", ".join(
+        f"{counts[severity]} {severity}(s)"
+        for severity in SEVERITIES
+        if counts.get(severity)
+    )
+    if not findings:
+        lines.append("clean: no findings")
+    else:
+        lines.append(f"found {summary}")
+    if baselined:
+        lines.append(f"({baselined} baselined finding(s) suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: List[Finding], baselined: int = 0
+) -> str:
+    payload = {
+        "version": 1,
+        "counts": severity_counts(findings),
+        "baselined": baselined,
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,376 @@
+"""Concurrency rules: lock discipline for the scheduler substrate.
+
+PR 2 grew the codebase to ~15 lock sites spread over the broker, lease
+manager, reaper, result backend, and batch negotiator.  The discipline
+that keeps them deadlock-free is simple but unwritten: locks are
+per-instance and acquired with ``with``; nothing blocks while holding
+one; long lease-holding loops heartbeat.  These rules write it down.
+
+Lock attributes are inferred per class: any ``self.X = threading.Lock()
+/ RLock() / Condition() / Semaphore()`` in ``__init__`` marks ``X`` as a
+lock for that class, in addition to the name heuristic (``*lock*``,
+``*mutex*``, ``*cond*``, ``*sem*``).  The companion *dynamic* checker —
+cross-lock acquisition-order cycles, which no single-file static rule
+can see — lives in :mod:`repro.analysis.lockorder`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+#: threading factories whose results are lock-like.
+LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+
+#: Substrings that mark a name as lock-like even without inference.
+LOCKISH_NAMES = ("lock", "mutex", "cond", "sem")
+
+#: Calls that block the calling thread (checked while a lock is held).
+#: ``.get()`` blocks only on queues, handled separately (dict.get is not
+#: a blocking call).
+BLOCKING_ATTRS = frozenset({"sleep", "join", "wait", "wait_for"})
+
+
+def _attr_tail(node: ast.AST) -> Optional[str]:
+    """Name of the receiver: ``self._lock`` → ``_lock``; ``x`` → ``x``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_lockish_name(name: Optional[str]) -> bool:
+    if not name:
+        return False
+    lowered = name.lower()
+    return any(mark in lowered for mark in LOCKISH_NAMES)
+
+
+def _expr_token(node: ast.AST) -> str:
+    """Stable token for comparing receiver expressions structurally."""
+    return ast.dump(node)
+
+
+class _LockAttrInference:
+    """Per-file map of class name → attributes assigned a lock factory
+    in ``__init__`` (so ``self._idle = threading.Condition()`` makes
+    ``_idle`` a lock attribute of its class)."""
+
+    def __init__(self, ctx: FileContext):
+        self.by_class: Dict[str, Set[str]] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            attrs: Set[str] = set()
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name == "__init__"
+                ):
+                    for sub in ast.walk(item):
+                        if not isinstance(sub, ast.Assign):
+                            continue
+                        if not isinstance(sub.value, ast.Call):
+                            continue
+                        name = ctx.qualified_name(sub.value.func)
+                        if name not in LOCK_FACTORIES:
+                            continue
+                        for target in sub.targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                attrs.add(target.attr)
+            self.by_class[node.name] = attrs
+
+    def is_lock_attr(
+        self, ctx: FileContext, receiver: ast.AST
+    ) -> bool:
+        """Is ``receiver`` (e.g. ``self._idle``) a known lock attribute
+        of the enclosing class?"""
+        if not (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+        ):
+            return False
+        enclosing = ctx.enclosing_class()
+        if enclosing is None:
+            return False
+        return receiver.attr in self.by_class.get(enclosing.name, set())
+
+
+class _ConcurrencyRule(Rule):
+    """Shared lock-attribute inference for the concurrency pack."""
+
+    def file_begin(self, ctx: FileContext) -> None:
+        self._inference = _LockAttrInference(ctx)
+
+    def _is_lock_expr(self, ctx: FileContext, node: ast.AST) -> bool:
+        if _is_lockish_name(_attr_tail(node)):
+            return True
+        return self._inference.is_lock_attr(ctx, node)
+
+    def _held_locks(self, ctx: FileContext) -> Dict[str, ast.AST]:
+        """Receiver-token → expr for every lock held by enclosing
+        ``with`` statements at the current node.
+
+        Only ``with`` blocks inside the *innermost* enclosing function
+        count: a nested ``def``'s body does not execute while the outer
+        ``with`` is held, it merely sits inside it textually.
+        """
+        scope_start = 0
+        for index, ancestor in enumerate(ctx.ancestors):
+            if isinstance(
+                ancestor,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                scope_start = index
+        held: Dict[str, ast.AST] = {}
+        for ancestor in ctx.ancestors[scope_start:]:
+            if not isinstance(ancestor, ast.With):
+                continue
+            for item in ancestor.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    # ``with lock.acquire_timeout(...)`` style helpers.
+                    expr = expr.func
+                if self._is_lock_expr(ctx, expr):
+                    held[_expr_token(expr)] = expr
+        return held
+
+
+class BareAcquireRule(_ConcurrencyRule):
+    """``lock.acquire()`` as a statement: a raised exception between
+    acquire and release leaks the lock forever; ``with`` cannot."""
+
+    rule_id = "CON-BARE-ACQUIRE"
+    severity = "warning"
+    description = "lock acquired without `with`"
+    interests = (ast.Expr,)
+
+    def visit(self, node: ast.Expr, ctx: FileContext) -> Iterator[Finding]:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr == "acquire"
+        ):
+            return
+        if not self._is_lock_expr(ctx, func.value):
+            return
+        yield self.finding(
+            ctx,
+            node,
+            "bare .acquire() on a lock; use `with` so the release "
+            "survives exceptions",
+        )
+
+
+class BlockingUnderLockRule(_ConcurrencyRule):
+    """Blocking (or running arbitrary callbacks) while holding a lock
+    turns every other thread that wants the lock into a hostage."""
+
+    rule_id = "CON-HOLD-BLOCKING"
+    severity = "warning"
+    description = "blocking call or callback invocation while holding a lock"
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        held = self._held_locks(ctx)
+        if not held:
+            return
+        func = node.func
+        name = ctx.qualified_name(func)
+        if name == "time.sleep":
+            yield self.finding(
+                ctx,
+                node,
+                "time.sleep() while holding "
+                f"{self._held_names(held)}; sleep outside the lock",
+            )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = func.value
+        if func.attr in BLOCKING_ATTRS:
+            # Waiting on the very lock you hold is the condition-variable
+            # pattern (Condition.wait releases it); that is the one
+            # legitimate blocking call under a lock.
+            if _expr_token(receiver) in held:
+                return
+            # self._stop.wait(t) on an Event is a sleep in disguise.
+            yield self.finding(
+                ctx,
+                node,
+                f".{func.attr}() blocks while holding "
+                f"{self._held_names(held)}; release the lock first "
+                "(condition-variable waits on the held lock itself "
+                "are exempt)",
+            )
+            return
+        lowered = func.attr.lower()
+        tail = (_attr_tail(receiver) or "").lower()
+        if lowered == "get" and "queue" in tail:
+            yield self.finding(
+                ctx,
+                node,
+                f"queue .get() blocks while holding "
+                f"{self._held_names(held)}; consume outside the lock",
+            )
+            return
+        if lowered.endswith("callback") or lowered.endswith("hook"):
+            yield self.finding(
+                ctx,
+                node,
+                f"callback {func.attr}() invoked while holding "
+                f"{self._held_names(held)}; callbacks can acquire "
+                "arbitrary locks — invoke after release",
+            )
+
+    @staticmethod
+    def _held_names(held: Dict[str, ast.AST]) -> str:
+        names = sorted(
+            _attr_tail(expr) or "<lock>" for expr in held.values()
+        )
+        return ", ".join(names)
+
+
+class LockPerCallRule(_ConcurrencyRule):
+    """A lock created inside the function it guards is private to each
+    call and therefore guards nothing."""
+
+    rule_id = "CON-LOCK-PER-CALL"
+    severity = "error"
+    description = "threading.Lock() created per-call instead of per-instance"
+    interests = (ast.With, ast.FunctionDef)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.With):
+            yield from self._check_direct_with(node, ctx)
+        else:
+            yield from self._check_local_lock(node, ctx)
+
+    def _check_direct_with(
+        self, node: ast.With, ctx: FileContext
+    ) -> Iterator[Finding]:
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and ctx.qualified_name(expr.func) in LOCK_FACTORIES
+            ):
+                yield self.finding(
+                    ctx,
+                    item.context_expr,
+                    "`with threading.Lock()` creates a fresh lock every "
+                    "call — it serializes nothing; store the lock on the "
+                    "instance or module",
+                )
+
+    def _check_local_lock(
+        self, node: ast.FunctionDef, ctx: FileContext
+    ) -> Iterator[Finding]:
+        if node.name in ("__init__", "__new__"):
+            return
+        # Locals assigned a lock factory ...
+        local_locks: Dict[str, ast.Assign] = {}
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and isinstance(
+                sub.value, ast.Call
+            ):
+                if ctx.qualified_name(sub.value.func) in LOCK_FACTORIES:
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            local_locks[target.id] = sub
+        if not local_locks:
+            return
+        # ... that the same function then enters with ``with``.
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.With):
+                continue
+            for item in sub.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Name)
+                    and expr.id in local_locks
+                ):
+                    assign = local_locks[expr.id]
+                    yield self.finding(
+                        ctx,
+                        assign,
+                        f"lock {expr.id!r} is created per call of "
+                        f"{node.name}() and guards only this call; "
+                        "hoist it to the instance or module",
+                    )
+                    local_locks.pop(expr.id)
+
+
+class LoopHeartbeatRule(_ConcurrencyRule):
+    """A scheduler loop that blocks while a task lease is in play must
+    heartbeat, or the reaper will reclaim the task out from under it."""
+
+    rule_id = "CON-LOOP-NO-HEARTBEAT"
+    severity = "warning"
+    description = "blocking loop in lease-holding code without heartbeat"
+    interests = (ast.While,)
+
+    def visit(self, node: ast.While, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_module("repro.scheduler"):
+            return
+        function = ctx.enclosing_function()
+        if function is None:
+            return
+        # Only functions that touch leases are on the hook.
+        if not self._mentions_lease(function):
+            return
+        blocking = None
+        has_heartbeat = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "heartbeat":
+                has_heartbeat = True
+            elif func.attr in ("join", "sleep", "wait"):
+                blocking = sub
+        if blocking is not None and not has_heartbeat:
+            yield self.finding(
+                ctx,
+                blocking,
+                "loop blocks in lease-holding code without renewing the "
+                "lease; call leases.heartbeat(task_id) each iteration or "
+                "the reaper will redeliver the task",
+            )
+
+    @staticmethod
+    def _mentions_lease(function: ast.AST) -> bool:
+        for sub in ast.walk(function):
+            if isinstance(sub, ast.Attribute) and "lease" in sub.attr:
+                return True
+            if isinstance(sub, ast.Name) and "lease" in sub.id:
+                return True
+        return False
+
+
+CONCURRENCY_RULES = (
+    BareAcquireRule,
+    BlockingUnderLockRule,
+    LockPerCallRule,
+    LoopHeartbeatRule,
+)

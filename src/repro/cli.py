@@ -113,6 +113,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also re-queue runs that finished as failed/timed_out",
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism/concurrency/hygiene analyzer "
+        "(exit 1 on unbaselined errors)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="report format (json for CI consumption)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file of accepted findings; only new findings "
+        "are reported and only new errors fail the run",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings: rewrite --baseline from "
+        "them and exit 0",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) on warnings too, not just errors",
+    )
+
     trace = commands.add_parser(
         "trace",
         help="render an archived experiment timeline (requires a run "
@@ -145,6 +173,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "resume": _cmd_resume,
         "trace": _cmd_trace,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 
@@ -466,6 +495,57 @@ def _cmd_resume(args) -> int:
         print(f"{stack:<24} {line}")
     print(f"\nexperiment {experiment.experiment_id} is up to date")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """Run the analyzer; the exit code is the CI contract.
+
+    0 — clean (or every finding is baselined / only warnings without
+    ``--strict``); 1 — new findings at failing severity; 2 — usage
+    error (bad paths, malformed baseline).
+    """
+    import os
+
+    from repro.analysis import lint_paths
+    from repro.analysis.baseline import (
+        load_baseline,
+        split_baselined,
+        write_baseline,
+    )
+    from repro.analysis.reporters import render_json, render_text
+    from repro.common.errors import ReproError
+
+    paths = args.paths or ["src/repro"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}")
+        return 2
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline PATH")
+        return 2
+    findings = lint_paths(paths)
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"baseline {args.baseline} written: "
+            f"{len(findings)} finding(s) accepted"
+        )
+        return 0
+    baselined = 0
+    if args.baseline:
+        try:
+            accepted = load_baseline(args.baseline)
+        except ReproError as error:
+            print(f"error: {error}")
+            return 2
+        findings, known = split_baselined(findings, accepted)
+        baselined = len(known)
+    render = render_json if args.format == "json" else render_text
+    output = render(findings, baselined=baselined)
+    print(output, end="" if output.endswith("\n") else "\n")
+    failing = ("error", "warning") if args.strict else ("error",)
+    failed = any(f.severity in failing for f in findings)
+    return 1 if failed else 0
 
 
 def _cmd_trace(args) -> int:

@@ -232,9 +232,20 @@ class BatchSystem:
                 )
                 job.state = JobState.COMPLETED
                 span.set_attribute("state", job.state.value)
-        except Exception:
+        except Exception as error:
+            # A failed job is a result, not an incident to hide: keep
+            # the full traceback on the job (surfaced by .get()), and
+            # emit the structured failure so the event log can explain
+            # the run without access to the job object.
             job.error = traceback.format_exc()
             job.state = JobState.FAILED
+            get_event_log().emit(
+                "batch.job.error",
+                job_id=job.job_id,
+                machine=machine.name,
+                error=type(error).__name__,
+                detail=str(error),
+            )
         finally:
             with self._lock:
                 self._free_slots[machine.name] += 1

@@ -13,7 +13,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.common.timeutil import iso_from_timestamp
+from repro.common.timeutil import iso_from_timestamp, wall_now
 
 
 class EventLog:
@@ -26,7 +26,7 @@ class EventLog:
 
     def emit(self, kind: str, **attributes: Any) -> Dict[str, Any]:
         """Append one event and return its record."""
-        wall = time.time()
+        wall = wall_now()
         with self._lock:
             self._sequence += 1
             event = {

@@ -7,10 +7,12 @@ threads a :class:`SpanContext` (trace id + span id, nothing else) is passed
 explicitly — it travels inside the scheduler's ``TaskMessage``, because
 thread-locals do not cross the broker.
 
-Spans record both wall-clock (``time.time``, portable, archived) and
-monotonic (``time.perf_counter``, duration-accurate) timestamps.  The
+Spans record both wall-clock (``timeutil.wall_now``, portable, archived)
+and monotonic (``time.perf_counter``, duration-accurate) timestamps.  The
 tracer accumulates finished spans; exporters and the recorder read them as
-plain dicts.
+plain dicts.  Wall-clock access goes through ``repro.common.timeutil`` —
+the sanctioned choke point the determinism lint rules whitelist — never
+through raw ``time.time()``.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.common.ids import new_uuid
-from repro.common.timeutil import iso_from_timestamp
+from repro.common.timeutil import iso_from_timestamp, wall_now
 
 
 class SpanContext:
@@ -66,7 +68,7 @@ class Span:
         self.parent_id = parent_id
         self.attributes: Dict[str, Any] = dict(attributes or {})
         self.thread = threading.current_thread().name
-        self.start_wall = time.time()
+        self.start_wall = wall_now()
         self.start_mono = time.perf_counter()
         self.end_wall: Optional[float] = None
         self.end_mono: Optional[float] = None
@@ -95,7 +97,7 @@ class Span:
     def end(self) -> None:
         if self.ended:
             return
-        self.end_wall = time.time()
+        self.end_wall = wall_now()
         self.end_mono = time.perf_counter()
         self._tracer._finish(self)
 

@@ -1,0 +1,235 @@
+"""Tests for the static-analysis engine: walker, dispatch, pragmas,
+fingerprints, baselines, reporters, and the ``repro lint`` CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import Analyzer, default_rules, lint_paths
+from repro.analysis.baseline import (
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    Finding,
+    iter_python_files,
+    logical_module,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.cli import main
+from repro.common.errors import ValidationError
+
+
+def analyze(source, path="src/repro/sim/fixture.py"):
+    return Analyzer(default_rules()).analyze_source(source, path)
+
+
+# ------------------------------------------------------------------ engine
+
+
+def test_logical_module_maps_paths_to_dotted_modules():
+    assert logical_module("src/repro/sim/engine.py") == "repro.sim.engine"
+    assert logical_module("src/repro/sim/__init__.py") == "repro.sim"
+    assert logical_module("/tmp/x/repro/chaos/a.py") == "repro.chaos.a"
+    assert logical_module("standalone.py") == "standalone"
+
+
+def test_iter_python_files_is_sorted_and_skips_pycache(tmp_path):
+    (tmp_path / "b.py").write_text("x = 1\n")
+    (tmp_path / "a.py").write_text("x = 1\n")
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "c.py").write_text("x = 1\n")
+    (tmp_path / "note.txt").write_text("not python\n")
+    names = [p.split("/")[-1] for p in iter_python_files([str(tmp_path)])]
+    assert names == ["a.py", "b.py"]
+
+
+def test_syntax_error_becomes_parse_finding():
+    findings = analyze("def broken(:\n")
+    assert len(findings) == 1
+    assert findings[0].rule_id == "PARSE"
+    assert findings[0].severity == "error"
+
+
+def test_import_alias_resolution_catches_renamed_wallclock():
+    findings = analyze(
+        "from time import time as _clock\n"
+        "def f():\n"
+        "    return _clock()\n"
+    )
+    assert any(f.rule_id == "DET-WALLCLOCK" for f in findings)
+
+
+def test_noqa_pragma_suppresses_named_rule_only():
+    source = (
+        "import time\n"
+        "def f():\n"
+        "    a = time.time()  # repro: noqa[DET-WALLCLOCK]\n"
+        "    b = time.time()\n"
+        "    return a, b\n"
+    )
+    findings = analyze(source)
+    lines = [f.line for f in findings if f.rule_id == "DET-WALLCLOCK"]
+    assert lines == [4]
+
+
+def test_bare_noqa_suppresses_all_rules_on_line():
+    source = (
+        "import time\n"
+        "def f(x=[]):  # repro: noqa\n"
+        "    return time.time()  # repro: noqa\n"
+    )
+    assert analyze(source) == []
+
+
+def test_findings_sorted_and_fingerprint_stable_across_line_shift():
+    source = "import time\ndef f():\n    return time.time()\n"
+    shifted = "import time\n\n\ndef f():\n    return time.time()\n"
+    first = analyze(source)
+    second = analyze(shifted)
+    assert first[0].line != second[0].line
+    assert first[0].fingerprint == second[0].fingerprint
+
+
+def test_duplicate_rule_ids_rejected():
+    rules = default_rules()
+    with pytest.raises(ValueError):
+        Analyzer(rules + [type(rules[0])()])
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def test_baseline_roundtrip_filters_known_findings(tmp_path):
+    findings = analyze("import time\ndef f():\n    return time.time()\n")
+    assert findings
+    path = tmp_path / "baseline.json"
+    write_baseline(str(path), findings)
+    accepted = load_baseline(str(path))
+    fresh, known = split_baselined(findings, accepted)
+    assert fresh == []
+    assert len(known) == len(findings)
+
+
+def test_missing_baseline_is_empty_and_bad_baseline_raises(tmp_path):
+    assert load_baseline(str(tmp_path / "absent.json")) == set()
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    with pytest.raises(ValidationError):
+        load_baseline(str(bad))
+    bad.write_text('{"findings": [{"rule": "X"}]}')
+    with pytest.raises(ValidationError):
+        load_baseline(str(bad))
+
+
+# --------------------------------------------------------------- reporters
+
+
+def test_text_reporter_mentions_location_and_counts():
+    findings = analyze("import time\ndef f():\n    return time.time()\n")
+    text = render_text(findings)
+    assert "DET-WALLCLOCK" in text
+    assert "error" in text
+    assert "fixture.py:3" in text
+    assert render_text([]) == "clean: no findings"
+
+
+def test_json_reporter_is_valid_and_deterministic():
+    findings = analyze("import time\ndef f():\n    return time.time()\n")
+    payload = json.loads(render_json(findings, baselined=2))
+    assert payload["counts"]["error"] >= 1
+    assert payload["baselined"] == 2
+    assert payload["findings"][0]["rule"] == "DET-WALLCLOCK"
+    assert render_json(findings, 2) == render_json(findings, 2)
+
+
+# --------------------------------------------------------------------- cli
+
+
+def _write_bad_module(tmp_path):
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    bad = pkg / "bad.py"
+    bad.write_text(
+        "import time\n"
+        "def f():\n"
+        "    return time.time()\n"
+    )
+    return bad
+
+
+def test_cli_lint_clean_tree_exits_zero(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("def f():\n    return 1\n")
+    assert main(["lint", str(good)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_lint_error_exits_one_with_text_report(tmp_path, capsys):
+    bad = _write_bad_module(tmp_path)
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "DET-WALLCLOCK" in out
+    assert "time.time" in out
+
+
+def test_cli_lint_json_format(tmp_path, capsys):
+    bad = _write_bad_module(tmp_path)
+    assert main(["lint", str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["error"] == 1
+
+
+def test_cli_lint_baseline_workflow(tmp_path, capsys):
+    bad = _write_bad_module(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "lint", str(bad),
+                "--baseline", str(baseline),
+                "--write-baseline",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # Baselined findings no longer fail the run ...
+    assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+    # ... but a *new* error does.
+    bad.write_text(
+        "import time\n"
+        "def f():\n"
+        "    return time.time()\n"
+        "def g():\n"
+        "    return time.time_ns()\n"
+    )
+    assert main(["lint", str(bad), "--baseline", str(baseline)]) == 1
+
+
+def test_cli_lint_strict_fails_on_warnings(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    warn = pkg / "warn.py"
+    warn.write_text(
+        "def f():\n"
+        "    for x in {1, 2, 3}:\n"
+        "        pass\n"
+    )
+    assert main(["lint", str(warn)]) == 0
+    assert main(["lint", str(warn), "--strict"]) == 1
+
+
+def test_cli_lint_usage_errors(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope")]) == 2
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert main(["lint", str(good), "--write-baseline"]) == 2
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    _write_bad_module(tmp_path)
+    findings = lint_paths([str(tmp_path)])
+    assert [f.rule_id for f in findings] == ["DET-WALLCLOCK"]

@@ -1,0 +1,67 @@
+"""Self-hosting gate: the analyzer must pass on our own tree.
+
+The determinism zones (``repro.sim``, ``repro.chaos``, the art hash
+paths) are the load-bearing promise — a future PR that sneaks a
+``time.time()`` into the simulator breaks seed-identical replay without
+failing a single behavioural test.  This suite is the tripwire.
+"""
+
+import os
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def errors_in(*subpaths):
+    paths = [os.path.join(SRC, sub) for sub in subpaths]
+    return [
+        finding
+        for finding in lint_paths(paths)
+        if finding.severity == "error"
+    ]
+
+
+def test_sim_and_chaos_have_zero_error_findings():
+    """The ISSUE's regression gate: the deterministic zones lint clean
+    at severity error, keeping future PRs honest."""
+    findings = errors_in("sim", "chaos")
+    assert findings == [], "\n".join(
+        f"{f.file}:{f.line} {f.rule_id} {f.message}" for f in findings
+    )
+
+
+def test_art_hash_paths_have_zero_error_findings():
+    findings = errors_in(
+        os.path.join("art", "artifact.py"),
+        os.path.join("art", "provenance.py"),
+        os.path.join("common", "hashing.py"),
+    )
+    assert findings == [], "\n".join(
+        f"{f.file}:{f.line} {f.rule_id} {f.message}" for f in findings
+    )
+
+
+def test_whole_tree_has_zero_unbaselined_errors():
+    """`repro lint src/repro` must run clean — the shipped baseline is
+    empty, so every error anywhere in the package fails here."""
+    findings = errors_in("")
+    assert findings == [], "\n".join(
+        f"{f.file}:{f.line} {f.rule_id} {f.message}" for f in findings
+    )
+
+
+def test_scheduler_lock_discipline_warnings_clean():
+    """The concurrency pack is warning-severity; keep the scheduler —
+    the subsystem the rules were written for — at zero anyway."""
+    findings = [
+        finding
+        for finding in lint_paths([os.path.join(SRC, "scheduler")])
+        if finding.rule_id.startswith("CON-")
+    ]
+    assert findings == [], "\n".join(
+        f"{f.file}:{f.line} {f.rule_id} {f.message}" for f in findings
+    )

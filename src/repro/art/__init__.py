@@ -29,6 +29,8 @@ from repro.art.artifact import (
     register_repo,
 )
 from repro.art.run import Gem5Run, RunStatus
+from repro.art.spec import RunSpec
+from repro.art.cache import RunCache
 from repro.art.tasks import (
     run_job,
     run_jobs_pool,
@@ -54,6 +56,8 @@ __all__ = [
     "register_repo",
     "Gem5Run",
     "RunStatus",
+    "RunSpec",
+    "RunCache",
     "run_job",
     "run_jobs_pool",
     "run_jobs_scheduler",

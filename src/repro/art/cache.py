@@ -1,0 +1,283 @@
+"""Result memoization keyed on run fingerprints.
+
+gem5art's agility claim (§III-B) is that a run already present in the
+database never needs to execute again: identical input hashes imply an
+identical result.  :class:`RunCache` is that claim as a layer.  It maps a
+:class:`~repro.art.spec.RunSpec` fingerprint to the archived outcome of
+the run that first executed it — results summary, stats blob id, final
+status — and lets later runs *adopt* the archived result instead of
+simulating.
+
+Integrity is free because the file store is content-addressed: a stats
+blob id **is** the SHA-256 of its bytes, so adoption re-downloads the
+blob and the store itself raises
+:class:`~repro.common.errors.CorruptBlobError` on any mismatch.  A
+corrupt entry is evicted (rotten blob included, so the re-archival can
+re-populate the content address), a ``runcache.corrupt`` event is
+emitted, and the caller falls back to re-execution — the cache can
+serve stale-free results or nothing, never silently wrong bytes.
+
+Only runs that reached ``DONE`` are cached.  A simulation-level failure
+(a kernel panic in a boot test) is a valid, memoizable outcome; a
+host-level failure (``FAILED`` / ``TIMED_OUT``) is retryable
+infrastructure noise and is never served from cache.
+
+Invalidation cascades through content: ``invalidate(token)`` accepts a
+fingerprint *or* an artifact content hash, and an artifact hash evicts
+every cached run that consumed that artifact — rebuilding one disk image
+re-runs exactly its dependent points and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro import chaos, telemetry
+from repro.common.errors import (
+    CorruptBlobError,
+    FaultInjectedError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.common.timeutil import iso_now
+from repro.art.db import ArtifactDB
+
+#: Run statuses whose results are memoizable (terminal *and* meaningful:
+#: the simulation ran to its recorded outcome on a healthy host).
+CACHEABLE_STATUSES = ("done",)
+
+
+def _hits_counter():
+    return telemetry.get_metrics().counter(
+        "runcache_hits_total",
+        "Runs served from the result cache instead of simulating",
+    )
+
+
+def _misses_counter():
+    return telemetry.get_metrics().counter(
+        "runcache_misses_total",
+        "Cache consultations that found no adoptable result",
+    )
+
+
+def _corrupt_counter():
+    return telemetry.get_metrics().counter(
+        "runcache_corrupt_total",
+        "Cache entries evicted because their stats blob failed "
+        "hash verification",
+    )
+
+
+class RunCache:
+    """Fingerprint → archived-result index over an :class:`ArtifactDB`."""
+
+    def __init__(self, db: ArtifactDB):
+        self.db = db
+
+    # -------------------------------------------------------------- lookup
+
+    def lookup(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The raw cache entry for a fingerprint, or None."""
+        return self.db.get_cache_entry(fingerprint)
+
+    def consult(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Look up and *verify* an entry; None means execute the run.
+
+        The verification downloads the archived stats blob, which the
+        content-addressed store checks against its digest.  Failure modes
+        degrade, never escalate: a missing blob or an injected cache-read
+        fault counts as a miss, a corrupt blob evicts the entry and
+        counts as a miss — the simulation always remains available as
+        the slow path.
+        """
+        try:
+            chaos.fire("runcache.get", fingerprint=fingerprint)
+            entry = self.lookup(fingerprint)
+        except FaultInjectedError as error:
+            telemetry.get_event_log().emit(
+                "runcache.error",
+                fingerprint=fingerprint,
+                error=str(error),
+            )
+            self._miss(fingerprint, reason="read-fault")
+            return None
+        if entry is None:
+            self._miss(fingerprint, reason="absent")
+            return None
+        try:
+            self._verify(entry)
+        except CorruptBlobError as error:
+            _corrupt_counter().inc()
+            telemetry.get_event_log().emit(
+                "runcache.corrupt",
+                fingerprint=fingerprint,
+                run_id=entry.get("run_id"),
+                error=str(error),
+            )
+            self.db.delete_cache_entry(fingerprint)
+            # Purge the rotten blob as well: put_bytes() is dedup-by-
+            # digest, so only an empty address lets the fallback
+            # re-execution re-archive pristine bytes and heal the cache.
+            stats_file_id = (entry.get("results") or {}).get(
+                "stats_file_id"
+            )
+            if stats_file_id is not None:
+                self.db.delete_file(stats_file_id)
+            self._miss(fingerprint, reason="corrupt")
+            return None
+        except (NotFoundError, FaultInjectedError) as error:
+            telemetry.get_event_log().emit(
+                "runcache.error",
+                fingerprint=fingerprint,
+                error=str(error),
+            )
+            self._miss(fingerprint, reason="blob-missing")
+            return None
+        self._hit(entry)
+        return entry
+
+    def _verify(self, entry: Dict[str, Any]) -> None:
+        results = entry.get("results") or {}
+        stats_file_id = results.get("stats_file_id")
+        if stats_file_id is not None:
+            # get_bytes() hashes what it reads and raises
+            # CorruptBlobError itself on mismatch.
+            self.db.download_file(stats_file_id)
+
+    def _hit(self, entry: Dict[str, Any]) -> None:
+        _hits_counter().inc(kind=entry.get("kind", "unknown"))
+        self.db.update_cache_entry(
+            entry["fingerprint"], {"$inc": {"hits": 1}}
+        )
+        telemetry.get_event_log().emit(
+            "runcache.hit",
+            fingerprint=entry["fingerprint"],
+            run_id=entry.get("run_id"),
+        )
+
+    def _miss(self, fingerprint: str, reason: str) -> None:
+        _misses_counter().inc(reason=reason)
+        telemetry.get_event_log().emit(
+            "runcache.miss", fingerprint=fingerprint, reason=reason
+        )
+
+    # --------------------------------------------------------------- store
+
+    def store(
+        self,
+        fingerprint: str,
+        run_doc: Dict[str, Any],
+    ) -> bool:
+        """Archive a finished run's outcome under its fingerprint.
+
+        Idempotent and first-writer-wins: once a fingerprint has a
+        result, later identical runs adopt it rather than overwrite it.
+        Returns True when a new entry was written.
+        """
+        if run_doc.get("status") not in CACHEABLE_STATUSES:
+            return False
+        if self.db.get_cache_entry(fingerprint) is not None:
+            return False
+        spec_doc = run_doc.get("spec") or {}
+        entry = {
+            "_id": f"cache-{fingerprint}",
+            "fingerprint": fingerprint,
+            "kind": run_doc.get("kind"),
+            "artifact_hashes": dict(spec_doc.get("artifacts") or {}),
+            "run_id": run_doc.get("_id"),
+            "status": run_doc.get("status"),
+            "results": dict(run_doc.get("results") or {}),
+            "hits": 0,
+            "stored_at_wall": iso_now(),
+        }
+        self.db.put_cache_entry(entry)
+        telemetry.get_event_log().emit(
+            "runcache.store",
+            fingerprint=fingerprint,
+            run_id=run_doc.get("_id"),
+        )
+        return True
+
+    # --------------------------------------------------------- invalidation
+
+    def invalidate(self, token: str) -> int:
+        """Evict by fingerprint or by artifact content hash (cascading).
+
+        A fingerprint evicts exactly its entry.  An artifact hash evicts
+        every cached run whose spec consumed that artifact — the
+        dependency cascade that makes "I rebuilt the disk image" re-run
+        only the image's dependents.  A token that matches nothing
+        exactly is retried as a git-style prefix (``cache ls`` shows
+        abbreviated fingerprints); an ambiguous prefix raises
+        :class:`~repro.common.errors.ValidationError` rather than guess.
+        Returns the number of entries evicted.
+        """
+        entry = self.db.get_cache_entry(token)
+        if entry is not None:
+            self.db.delete_cache_entry(token)
+            telemetry.get_event_log().emit(
+                "runcache.invalidate", fingerprint=token, by="fingerprint"
+            )
+            return 1
+        evicted = 0
+        for candidate in self.db.cache_entries():
+            hashes = (candidate.get("artifact_hashes") or {}).values()
+            if token in hashes:
+                self.db.delete_cache_entry(candidate["fingerprint"])
+                telemetry.get_event_log().emit(
+                    "runcache.invalidate",
+                    fingerprint=candidate["fingerprint"],
+                    by="artifact",
+                    artifact_hash=token,
+                )
+                evicted += 1
+        if evicted:
+            return evicted
+        full = self._expand_prefix(token)
+        if full is not None:
+            return self.invalidate(full)
+        return 0
+
+    def _expand_prefix(self, prefix: str) -> Optional[str]:
+        """Resolve an abbreviated fingerprint / artifact hash, or None.
+
+        Only consulted after exact matching fails, so a full token can
+        never be shadowed by a longer one it happens to prefix.
+        """
+        if not prefix:
+            return None
+        matches = set()
+        for entry in self.db.cache_entries():
+            if entry["fingerprint"].startswith(prefix):
+                matches.add(entry["fingerprint"])
+            for value in (entry.get("artifact_hashes") or {}).values():
+                if isinstance(value, str) and value.startswith(prefix):
+                    matches.add(value)
+        if len(matches) > 1:
+            raise ValidationError(
+                f"ambiguous prefix {prefix!r} matches "
+                f"{len(matches)} cache tokens; use more characters"
+            )
+        return matches.pop() if matches else None
+
+    # --------------------------------------------------------------- query
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every cache entry, in insertion order."""
+        return self.db.cache_entries()
+
+    def stats(self) -> Dict[str, Any]:
+        """Summary counts for ``repro cache stats``."""
+        entries = self.entries()
+        by_kind: Dict[str, int] = {}
+        adoptions = 0
+        for entry in entries:
+            kind = entry.get("kind") or "unknown"
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            adoptions += int(entry.get("hits") or 0)
+        return {
+            "entries": len(entries),
+            "adoptions": adoptions,
+            "by_kind": by_kind,
+        }

@@ -15,6 +15,7 @@ from repro.db import Database, connect
 
 ARTIFACTS = "artifacts"
 RUNS = "runs"
+RUN_CACHE = "run_cache"
 
 
 class ArtifactDB:
@@ -24,7 +25,11 @@ class ArtifactDB:
         self.database = database or connect("memory://")
         self.artifacts = self.database.collection(ARTIFACTS)
         self.runs = self.database.collection(RUNS)
+        self.run_cache = self.database.collection(RUN_CACHE)
         self.artifacts.create_unique_index("hash")
+        # One archived result per fingerprint: the memoization layer's
+        # equivalent of the artifact collection's no-duplicates rule.
+        self.run_cache.create_unique_index("fingerprint")
 
     # ---------------------------------------------------------- artifacts
 
@@ -60,6 +65,10 @@ class ArtifactDB:
     def has_file(self, file_id: str) -> bool:
         return file_id in self.database.files
 
+    def delete_file(self, file_id: str) -> bool:
+        """Drop a blob — corruption recovery only (see FileStore.delete)."""
+        return self.database.files.delete(file_id)
+
     # ---------------------------------------------------------------- runs
 
     def put_run(self, document: Dict[str, Any]) -> str:
@@ -76,6 +85,36 @@ class ArtifactDB:
 
     def query_runs(self, query=None, **kwargs) -> List[Dict[str, Any]]:
         return self.runs.find(query, **kwargs)
+
+    def runs_by_fingerprint(
+        self, fingerprint: str
+    ) -> List[Dict[str, Any]]:
+        """Every run document sharing one spec fingerprint (instances of
+        the same experiment point)."""
+        return self.runs.find({"fingerprint": fingerprint})
+
+    # ----------------------------------------------------------- run cache
+
+    def put_cache_entry(self, document: Dict[str, Any]) -> str:
+        return self.run_cache.insert_one(document)
+
+    def get_cache_entry(
+        self, fingerprint: str
+    ) -> Optional[Dict[str, Any]]:
+        return self.run_cache.find_one({"fingerprint": fingerprint})
+
+    def update_cache_entry(
+        self, fingerprint: str, update: Dict[str, Any]
+    ) -> bool:
+        return self.run_cache.update_one(
+            {"fingerprint": fingerprint}, update
+        )
+
+    def delete_cache_entry(self, fingerprint: str) -> bool:
+        return self.run_cache.delete_one({"fingerprint": fingerprint})
+
+    def cache_entries(self, query=None) -> List[Dict[str, Any]]:
+        return self.run_cache.find(query)
 
     # --------------------------------------------------------------- misc
 

@@ -188,6 +188,7 @@ class Experiment:
         backend: str = "pool",
         workers: int = 4,
         resume: bool = False,
+        use_cache: bool = True,
     ) -> List[Dict[str, Any]]:
         """Execute every run via the chosen backend and return summaries.
 
@@ -199,6 +200,11 @@ class Experiment:
         done in the database are skipped, so an interrupted experiment
         can be re-launched and only the missing points execute.  The
         returned summaries always cover *every* run, in creation order.
+
+        ``use_cache`` (default) consults the fingerprint result cache
+        before each simulation and single-flights identical concurrent
+        runs; ``use_cache=False`` (the CLI's ``--no-cache``) forces every
+        point to simulate.
         """
         if self._runs is None:
             self.create_runs()
@@ -209,7 +215,7 @@ class Experiment:
                 run for run in self._runs if run.run_id in pending_ids
             ]
         return self._execute_pending(
-            pending, backend, workers, phase="launch"
+            pending, backend, workers, phase="launch", use_cache=use_cache
         )
 
     def resume(
@@ -217,6 +223,7 @@ class Experiment:
         backend: str = "pool",
         workers: int = 4,
         retry_failures: bool = False,
+        use_cache: bool = True,
     ) -> List[Dict[str, Any]]:
         """Re-launch only the runs an interrupted campaign still owes.
 
@@ -237,7 +244,7 @@ class Experiment:
             run for run in self._runs if run.run_id in pending_ids
         ]
         return self._execute_pending(
-            pending, backend, workers, phase="resume"
+            pending, backend, workers, phase="resume", use_cache=use_cache
         )
 
     def pending_runs(self, retry_failures: bool = False) -> List[str]:
@@ -260,6 +267,7 @@ class Experiment:
         backend: str,
         workers: int,
         phase: str,
+        use_cache: bool = True,
     ) -> List[Dict[str, Any]]:
         if backend not in ("pool", "scheduler", "inline"):
             raise ValidationError(
@@ -274,6 +282,7 @@ class Experiment:
                 "backend": backend,
                 "phase": phase,
                 "runs": len(pending),
+                "use_cache": use_cache,
             },
         )
         telemetry.get_event_log().emit(
@@ -294,12 +303,18 @@ class Experiment:
         try:
             with span:
                 if backend == "pool":
-                    run_jobs_pool(pending, processes=workers)
+                    run_jobs_pool(
+                        pending, processes=workers, use_cache=use_cache
+                    )
                 elif backend == "scheduler":
-                    run_jobs_scheduler(pending, worker_count=workers)
+                    run_jobs_scheduler(
+                        pending,
+                        worker_count=workers,
+                        use_cache=use_cache,
+                    )
                 else:
                     for run in pending:
-                        run_job(run)
+                        run_job(run, use_cache=use_cache)
             interrupted = False
         finally:
             # The journal survives a crash here: a campaign killed

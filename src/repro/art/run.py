@@ -10,6 +10,15 @@ This reproduction's run objects are *executable*: ``run()`` reconstructs
 the simulator and guest objects from the referenced artifacts' payloads and
 metadata, drives :class:`repro.sim.Gem5Simulator` (or the GPU device), and
 archives everything in the database.
+
+Run identity is two-layered.  The UUID (``run_id``) is the *instance* id:
+it names one attempt, one document, one row in an experiment.  The
+:class:`~repro.art.spec.RunSpec` **fingerprint** is the *identity* key:
+a SHA-256 over the content hashes of every input artifact plus the
+canonicalized parameters and simulator build.  Every run is constructed
+from a spec, and ``run()`` consults the result cache
+(:mod:`repro.art.cache`) by fingerprint before simulating — a hit adopts
+the archived, hash-verified result at near-zero cost.
 """
 
 from __future__ import annotations
@@ -19,12 +28,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.common.errors import ValidationError
+from repro.common.errors import NotFoundError, ValidationError
 from repro.common.ids import new_uuid
 from repro.common.timeutil import iso_now
 from repro import chaos, telemetry
 from repro.art.artifact import Artifact, load_disk_image
+from repro.art.cache import RunCache
 from repro.art.db import ArtifactDB
+from repro.art.spec import RunSpec
 from repro.gpu.config import GPUConfig
 from repro.gpu.device import GPUDevice
 from repro.gpu.workloads import get_gpu_workload
@@ -61,6 +72,8 @@ class Gem5Run:
     db: ArtifactDB = field(repr=False)
     status: RunStatus = RunStatus.CREATED
     results: Optional[Dict[str, object]] = None
+    spec: Optional[RunSpec] = field(default=None, repr=False)
+    fingerprint: str = ""
 
     # -------------------------------------------------------- constructors
 
@@ -88,12 +101,12 @@ class Gem5Run:
         All five artifacts of Fig 4 are required; the remaining keyword
         parameters are what the run script would receive.
         """
-        artifacts = {
-            "gem5": gem5_artifact.id,
-            "gem5_git": gem5_git_artifact.id,
-            "run_script_git": run_script_git_artifact.id,
-            "linux_binary": linux_binary_artifact.id,
-            "disk_image": disk_image_artifact.id,
+        artifact_objects = {
+            "gem5": gem5_artifact,
+            "gem5_git": gem5_git_artifact,
+            "run_script_git": run_script_git_artifact,
+            "linux_binary": linux_binary_artifact,
+            "disk_image": disk_image_artifact,
         }
         params = {
             "cpu_type": cpu_type,
@@ -105,7 +118,8 @@ class Gem5Run:
             "input_size": input_size,
             "boot_type": boot_type,
         }
-        return cls._create(db, "fs", artifacts, params, timeout)
+        spec = RunSpec.from_artifacts("fs", artifact_objects, params)
+        return cls._create(db, artifact_objects, params, timeout, spec)
 
     #: camelCase alias matching the paper's Fig 4.
     createFSRun = create_fs_run
@@ -128,9 +142,9 @@ class Gem5Run:
                 "GPU runs need a gem5 binary built for GCN3_X86 "
                 f"(got {build_meta.get('isa')!r})"
             )
-        artifacts = {
-            "gem5": gem5_artifact.id,
-            "gem5_git": gem5_git_artifact.id,
+        artifact_objects = {
+            "gem5": gem5_artifact,
+            "gem5_git": gem5_git_artifact,
         }
         config = gpu_config or GPUConfig()
         params = {
@@ -147,29 +161,44 @@ class Gem5Run:
                 ),
             },
         }
-        return cls._create(db, "gpu", artifacts, params, timeout)
+        spec = RunSpec.from_artifacts("gpu", artifact_objects, params)
+        return cls._create(db, artifact_objects, params, timeout, spec)
 
     createGPURun = create_gpu_run
 
     @classmethod
-    def _create(cls, db, kind, artifacts, params, timeout) -> "Gem5Run":
+    def _create(
+        cls, db, artifact_objects, params, timeout, spec: RunSpec
+    ) -> "Gem5Run":
+        """Materialize a run *from its spec* plus the artifact instances
+        that realize it; the fingerprint is persisted in the document so
+        loads and cache consultations never re-derive it."""
+        artifacts = {
+            role: artifact.id
+            for role, artifact in artifact_objects.items()
+        }
+        fingerprint = spec.fingerprint()
         run = cls(
             run_id=new_uuid(),
-            kind=kind,
+            kind=spec.kind,
             artifacts=artifacts,
             params=params,
             timeout=timeout,
             db=db,
+            spec=spec,
+            fingerprint=fingerprint,
         )
         db.put_run(
             {
                 "_id": run.run_id,
-                "kind": kind,
+                "kind": spec.kind,
                 "artifacts": artifacts,
                 "params": params,
                 "timeout": timeout,
                 "status": RunStatus.CREATED.value,
                 "results": None,
+                "fingerprint": fingerprint,
+                "spec": spec.to_document(),
             }
         )
         return run
@@ -177,6 +206,7 @@ class Gem5Run:
     @classmethod
     def load(cls, db: ArtifactDB, run_id: str) -> "Gem5Run":
         doc = db.get_run(run_id)
+        spec = cls._spec_for_doc(db, doc)
         return cls(
             run_id=doc["_id"],
             kind=doc["kind"],
@@ -186,15 +216,53 @@ class Gem5Run:
             db=db,
             status=RunStatus(doc["status"]),
             results=doc.get("results"),
+            spec=spec,
+            fingerprint=(
+                doc.get("fingerprint")
+                or (spec.fingerprint() if spec is not None else "")
+            ),
+        )
+
+    @staticmethod
+    def _spec_for_doc(
+        db: ArtifactDB, doc: Dict[str, object]
+    ) -> Optional[RunSpec]:
+        """Rehydrate (or, for pre-spec documents, rebuild) the run's spec.
+
+        Older run documents carry only artifact UUIDs; the spec is
+        reconstructed from the referenced artifacts' content hashes.  A
+        document whose artifacts are gone (a partial archive import)
+        yields None — the run still loads, it just cannot be memoized.
+        """
+        spec_doc = doc.get("spec")
+        if spec_doc:
+            return RunSpec.from_document(spec_doc)
+        try:
+            artifact_objects = {
+                role: Artifact.load(db, artifact_id)
+                for role, artifact_id in doc["artifacts"].items()
+            }
+        except NotFoundError:
+            return None
+        return RunSpec.from_artifacts(
+            doc["kind"], artifact_objects, doc["params"]
         )
 
     # ----------------------------------------------------------- execution
 
-    def run(self) -> Dict[str, object]:
-        """Execute the simulation and archive the outcome.
+    def run(self, use_cache: bool = True) -> Dict[str, object]:
+        """Execute the simulation — or adopt its memoized result — and
+        archive the outcome.
 
         Returns the results summary also stored in the database.  The
         gem5art timeout is enforced on host wall-clock time.
+
+        With ``use_cache`` (the default) the run first consults the
+        result cache by spec fingerprint: on a verified hit the archived
+        results are adopted and **no simulation happens**; on a miss the
+        run executes and, if it reaches ``DONE``, its outcome is stored
+        for every future identical run.  ``use_cache=False`` forces a
+        fresh execution and leaves the cache untouched.
 
         With telemetry enabled, the run is wrapped in a ``run`` span
         (parenting the simulator's phase spans) and its span subtree is
@@ -203,11 +271,15 @@ class Gem5Run:
         """
         span = telemetry.get_tracer().span(
             "run",
-            attributes={"run_id": self.run_id, "kind": self.kind},
+            attributes={
+                "run_id": self.run_id,
+                "kind": self.kind,
+                "fingerprint": self.fingerprint,
+            },
         )
         try:
             with span:
-                summary = self._run_guarded()
+                summary = self._run_or_adopt(use_cache, span)
                 span.set_attribute("status", self.status.value)
                 span.set_attribute(
                     "workload", summary.get("workload", "")
@@ -222,6 +294,38 @@ class Gem5Run:
             ).inc(outcome=self.status.value)
             self._archive_telemetry(span)
         return summary
+
+    def _run_or_adopt(self, use_cache: bool, span) -> Dict[str, object]:
+        cache = (
+            RunCache(self.db) if use_cache and self.fingerprint else None
+        )
+        if cache is not None:
+            entry = cache.consult(self.fingerprint)
+            if entry is not None:
+                span.set_attribute("cache", "hit")
+                return self.adopt_cached(entry)
+            span.set_attribute("cache", "miss")
+        summary = self._run_guarded()
+        if cache is not None and self.status is RunStatus.DONE:
+            cache.store(self.fingerprint, self.db.get_run(self.run_id))
+        return summary
+
+    def adopt_cached(self, entry: Dict[str, object]) -> Dict[str, object]:
+        """Take over an archived result: the run finishes without a
+        single simulated tick, its document pointing at the same
+        (hash-verified) stats blob the original execution produced."""
+        results = dict(entry["results"])
+        self.results = results
+        self._set_status(
+            RunStatus(entry["status"]),
+            results,
+            extra={
+                "cache_hit": True,
+                "cached_from": entry.get("run_id"),
+                "finished_at_wall": iso_now(),
+            },
+        )
+        return results
 
     def _run_guarded(self) -> Dict[str, object]:
         self._set_status(

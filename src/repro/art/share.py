@@ -22,7 +22,7 @@ from typing import Dict, List
 
 from repro.common.errors import ValidationError
 from repro.common.hashing import md5_text, sha256_bytes
-from repro.common.jsonutil import canonical_dumps, loads
+from repro.common.jsonutil import loads, stable_dumps
 from repro.art.db import ArtifactDB
 
 _DOCUMENT_FILES = (
@@ -54,7 +54,7 @@ def export_archive(db: ArtifactDB, directory: str) -> Dict[str, int]:
         path = os.path.join(directory, filename)
         with open(path, "w", encoding="utf-8") as handle:
             for document in documents:
-                line = canonical_dumps(document)
+                line = stable_dumps(document)
                 handle.write(line + "\n")
                 digest_source.append(line)
     file_ids = db.database.files.list_ids()
@@ -76,7 +76,7 @@ def export_archive(db: ArtifactDB, directory: str) -> Dict[str, int]:
     with open(
         os.path.join(directory, MANIFEST), "w", encoding="utf-8"
     ) as handle:
-        handle.write(canonical_dumps(manifest))
+        handle.write(stable_dumps(manifest))
     return {
         key: manifest[key]
         for key in ("artifacts", "runs", "experiments", "files")
@@ -95,7 +95,7 @@ def verify_archive(directory: str) -> Dict[str, int]:
     for filename in _DOCUMENT_FILES:
         documents = _read_documents(directory, filename)
         counts[filename.split(".")[0]] = len(documents)
-        digest_source.extend(canonical_dumps(doc) for doc in documents)
+        digest_source.extend(stable_dumps(doc) for doc in documents)
     files_dir = os.path.join(directory, FILES_DIR)
     file_ids = sorted(os.listdir(files_dir)) if os.path.isdir(
         files_dir

@@ -1,0 +1,145 @@
+"""RunSpec — the content-addressed intermediate representation of a run.
+
+The paper's central identity claim is that a run is *uniquely determined
+by the hashes of its inputs*: the artifacts it consumes, the parameters
+handed to the run script, and the simulator build that executes it.
+:class:`RunSpec` makes that claim structural.  It is a frozen,
+order-independent description of one simulation point:
+
+- ``kind`` — ``"fs"`` or ``"gpu"``;
+- ``artifacts`` — role name → *content hash* (not UUID: two databases
+  that registered the same bytes under different instance ids still
+  agree on the hash, so they agree on the fingerprint);
+- ``params`` — the run-script parameters, canonicalized;
+- ``build`` — the simulator's static configuration (version/ISA/variant).
+
+``fingerprint()`` serializes the spec to canonical JSON (sorted keys,
+normalized numbers — see :func:`repro.common.jsonutil.canonical_dumps`)
+and hashes it with SHA-256 through :mod:`repro.common.hashing`.  Equal
+specs produce equal fingerprints regardless of dict insertion order,
+sweep-axis declaration order, or int-vs-float parameter spelling; the
+fingerprint is therefore the *identity key* of a run, while the run's
+UUID remains merely its instance id.  The result-memoization layer
+(:mod:`repro.art.cache`) and the scheduler's single-flight dedup key on
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import sha256_text
+from repro.common.jsonutil import canonical_dumps, loads
+
+#: Bumped whenever the canonical serialization changes shape, so old
+#: fingerprints can never silently alias new ones.
+SPEC_SCHEMA_VERSION = 1
+
+#: Run kinds a spec may describe.
+KNOWN_KINDS = ("fs", "gpu")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A frozen, order-independent description of one run."""
+
+    kind: str
+    artifacts: Mapping[str, str] = field(default_factory=dict)
+    params: Mapping[str, object] = field(default_factory=dict)
+    build: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in KNOWN_KINDS:
+            raise ValidationError(
+                f"unknown run kind {self.kind!r}; one of {KNOWN_KINDS}"
+            )
+        if not self.artifacts:
+            raise ValidationError("a run spec needs at least one artifact")
+        for role, content_hash in self.artifacts.items():
+            if not role or not content_hash:
+                raise ValidationError(
+                    f"artifact role {role!r} has an empty content hash"
+                )
+        # Freeze the mappings so a spec can never drift after hashing.
+        object.__setattr__(self, "artifacts", dict(self.artifacts))
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "build", dict(self.build))
+
+    # ------------------------------------------------------- construction
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        kind: str,
+        artifacts: Mapping[str, "object"],
+        params: Mapping[str, object],
+        build: Optional[Mapping[str, str]] = None,
+    ) -> "RunSpec":
+        """Build a spec from role → :class:`~repro.art.artifact.Artifact`.
+
+        When ``build`` is omitted and a ``gem5`` artifact is present, the
+        simulator build info is lifted from that artifact's metadata — the
+        same metadata the run layer uses to reconstruct the binary.
+        """
+        hashes = {role: art.hash for role, art in artifacts.items()}
+        if build is None:
+            build = {}
+            gem5 = artifacts.get("gem5")
+            if gem5 is not None:
+                meta = getattr(gem5, "metadata", {}) or {}
+                build = {
+                    key: str(meta[key])
+                    for key in ("version", "isa", "variant")
+                    if key in meta
+                }
+        return cls(kind=kind, artifacts=hashes, params=params, build=build)
+
+    # ------------------------------------------------------------ identity
+
+    def canonical_document(self) -> Dict[str, object]:
+        """The dict that gets serialized and hashed (also the archival
+        form stored in run documents)."""
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "kind": self.kind,
+            "artifacts": dict(self.artifacts),
+            "params": dict(self.params),
+            "build": dict(self.build),
+        }
+
+    def canonical_json(self) -> str:
+        """Canonical-JSON serialization (sorted keys, normalized numbers)."""
+        return canonical_dumps(self.canonical_document())
+
+    def fingerprint(self) -> str:
+        """SHA-256 content address of this spec.
+
+        This is the run's identity key: two runs with equal fingerprints
+        are the same experiment point and may share one execution and one
+        archived result.
+        """
+        return sha256_text(self.canonical_json())
+
+    def uses_artifact_hash(self, content_hash: str) -> bool:
+        """Does any input artifact of this spec have ``content_hash``?"""
+        return content_hash in self.artifacts.values()
+
+    # ------------------------------------------------------------- storage
+
+    def to_document(self) -> Dict[str, object]:
+        return self.canonical_document()
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, object]) -> "RunSpec":
+        return cls(
+            kind=document["kind"],
+            artifacts=dict(document.get("artifacts") or {}),
+            params=dict(document.get("params") or {}),
+            build=dict(document.get("build") or {}),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_document(loads(text))

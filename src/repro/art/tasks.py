@@ -9,8 +9,9 @@ can switch managers freely — exactly the flexibility Section IV-D claims.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.art.cache import RunCache
 from repro.art.run import Gem5Run
 from repro.scheduler import (
     RetryPolicy,
@@ -18,7 +19,7 @@ from repro.scheduler import (
     SimplePool,
     TaskState,
 )
-from repro.telemetry import get_tracer
+from repro.telemetry import get_metrics, get_tracer
 from repro.scheduler.batch import (
     BatchSystem,
     JobDescription,
@@ -27,13 +28,15 @@ from repro.scheduler.batch import (
 )
 
 
-def run_job(run: Gem5Run) -> Dict[str, object]:
+def run_job(run: Gem5Run, use_cache: bool = True) -> Dict[str, object]:
     """Execute one run synchronously (the no-scheduler option)."""
-    return run.run()
+    return run.run(use_cache=use_cache)
 
 
 def run_jobs_pool(
-    runs: Sequence[Gem5Run], processes: int = 4
+    runs: Sequence[Gem5Run],
+    processes: int = 4,
+    use_cache: bool = True,
 ) -> List[Dict[str, object]]:
     """Execute runs through the multiprocessing-style pool, preserving
     input order in the returned summaries.
@@ -46,7 +49,7 @@ def run_jobs_pool(
 
     def execute(run: Gem5Run) -> Dict[str, object]:
         with tracer.activate(parent):
-            return run.run()
+            return run.run(use_cache=use_cache)
 
     with SimplePool(processes=processes) as pool:
         handles = [pool.apply_async(execute, (run,)) for run in runs]
@@ -56,8 +59,9 @@ def run_jobs_pool(
 def run_jobs_scheduler(
     runs: Sequence[Gem5Run],
     worker_count: int = 4,
-    timeout_per_job: float = None,
-    retry_policy: RetryPolicy = None,
+    timeout_per_job: Optional[float] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    use_cache: bool = True,
 ) -> List[Dict[str, object]]:
     """Execute runs through the Celery-like scheduler app.
 
@@ -69,26 +73,67 @@ def run_jobs_scheduler(
     machinery (e.g. re-running simulations that died on flaky
     infrastructure); the default stays fail-fast, recording the first
     failure.
+
+    With ``use_cache`` (the default), runs carrying equal spec
+    fingerprints are **single-flighted**: the first submission becomes
+    the leader and actually executes; concurrent identical submissions
+    coalesce onto the leader's task instead of enqueuing duplicate
+    simulations, and once the leader finishes each follower adopts the
+    (now cached) result into its own run document.  ``use_cache=False``
+    disables both the cache consult and the coalescing — every run
+    simulates.
     """
     app = SchedulerApp(name="gem5art", worker_count=worker_count)
 
     @app.task(name="gem5art.run_gem5_job", retry_policy=retry_policy)
     def run_gem5_job(index: int):
-        return runs[index].run()
+        return runs[index].run(use_cache=use_cache)
 
     try:
-        handles = [
-            run_gem5_job.apply_async(
+        handles = []
+        leaders: Dict[str, str] = {}
+        followers: List[bool] = []
+        for index in range(len(runs)):
+            dedup_key = (
+                runs[index].fingerprint
+                if use_cache and runs[index].fingerprint
+                else None
+            )
+            handle = run_gem5_job.apply_async(
                 args=(index,),
                 timeout=timeout_per_job or runs[index].timeout,
+                dedup_key=dedup_key,
             )
-            for index in range(len(runs))
-        ]
+            coalesced = (
+                dedup_key is not None
+                and leaders.get(dedup_key) is not None
+                and leaders[dedup_key] == handle.task_id
+            )
+            if dedup_key is not None and not coalesced:
+                leaders[dedup_key] = handle.task_id
+            if coalesced:
+                get_metrics().counter(
+                    "runcache_coalesced_total",
+                    "Runs coalesced onto an identical in-flight "
+                    "execution",
+                ).inc()
+            handles.append(handle)
+            followers.append(coalesced)
         summaries: List[Dict[str, object]] = []
         for index, handle in enumerate(handles):
             state = app.backend.wait(handle.task_id)
             if state is TaskState.SUCCESS:
-                summaries.append(handle.get())
+                summary = handle.get()
+                if followers[index]:
+                    # The follower's own document never executed; adopt
+                    # the leader's (now cached) result so the database
+                    # records this point too.
+                    adopted = RunCache(runs[index].db).consult(
+                        runs[index].fingerprint
+                    )
+                    if adopted is not None:
+                        summary = runs[index].adopt_cached(adopted)
+                summaries.append(summary)
             else:
                 record = app.backend.record(handle.task_id)
                 summaries.append(

@@ -9,7 +9,13 @@ experiments without writing a launch script:
 - ``parsec [--apps ...]``       — regenerate Figs 6/7 (optionally reduced);
 - ``gpu``                       — regenerate Fig 9;
 - ``resume <experiment> --db``  — finish an interrupted experiment (skips
-  runs the database already marks done).
+  runs the database already marks done);
+- ``cache stats|ls|invalidate`` — inspect or evict the fingerprint result
+  cache (``invalidate`` accepts a run fingerprint or an artifact content
+  hash; an artifact hash cascades to every dependent cached run).
+
+``boot-tests`` and ``resume`` accept ``--cache``/``--no-cache`` to control
+whether runs may adopt memoized results instead of simulating.
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--workers", type=int, default=8,
         help="scheduler worker threads for the experiment-backed path",
     )
+    _add_cache_flags(boot)
 
     parsec = commands.add_parser(
         "parsec", help="run the Fig 6/7 PARSEC OS study"
@@ -111,6 +118,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     resume.add_argument(
         "--retry-failures", action="store_true",
         help="also re-queue runs that finished as failed/timed_out",
+    )
+    _add_cache_flags(resume)
+
+    cache = commands.add_parser(
+        "cache",
+        help="inspect or evict the fingerprint result cache",
+    )
+    cache.add_argument(
+        "action", choices=("stats", "ls", "invalidate"),
+        help="stats: summary counts; ls: one line per entry; "
+        "invalidate: evict by fingerprint or artifact content hash",
+    )
+    cache.add_argument(
+        "token", nargs="?", default=None,
+        help="fingerprint or artifact content hash (invalidate only); "
+        "an artifact hash evicts every dependent cached run",
+    )
+    cache.add_argument(
+        "--db", required=True, metavar="URI",
+        help="database URI holding the cache "
+        "(file:///dir for anything persistent)",
     )
 
     lint = commands.add_parser(
@@ -174,8 +202,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "resume": _cmd_resume,
         "trace": _cmd_trace,
         "lint": _cmd_lint,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
+
+
+def _add_cache_flags(subparser) -> None:
+    """``--cache`` / ``--no-cache`` pair (default: cache on)."""
+    subparser.add_argument(
+        "--cache", dest="use_cache", action="store_true", default=True,
+        help="adopt memoized results for runs whose fingerprint is "
+        "already cached (default)",
+    )
+    subparser.add_argument(
+        "--no-cache", dest="use_cache", action="store_false",
+        help="ignore the result cache; every run simulates",
+    )
 
 
 def _cmd_resources(args) -> int:
@@ -281,7 +323,9 @@ def _cmd_boot_tests_experiment(args) -> int:
         )
         print(f"launching {experiment.size()} boot tests ...")
         summaries = experiment.launch(
-            backend="scheduler", workers=args.workers
+            backend="scheduler",
+            workers=args.workers,
+            use_cache=args.use_cache,
         )
         counts = collections.Counter(
             (s or {}).get("simulation_status", "failed")
@@ -481,6 +525,7 @@ def _cmd_resume(args) -> int:
             backend=args.backend,
             workers=args.workers,
             retry_failures=args.retry_failures,
+            use_cache=args.use_cache,
         )
     except ReproError as error:
         print(f"error: {error}")
@@ -494,6 +539,60 @@ def _cmd_resume(args) -> int:
         )
         print(f"{stack:<24} {line}")
     print(f"\nexperiment {experiment.experiment_id} is up to date")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.art import ArtifactDB, RunCache
+    from repro.common.errors import ReproError
+    from repro.db import connect
+
+    try:
+        db = ArtifactDB(connect(args.db))
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    cache = RunCache(db)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"entries    {stats['entries']}")
+        print(f"adoptions  {stats['adoptions']}")
+        for kind, count in sorted(stats["by_kind"].items()):
+            print(f"  {kind:<9}{count}")
+        return 0
+    if args.action == "ls":
+        table = TextTable(
+            ["Fingerprint", "Kind", "Run", "Hits", "Stored"],
+            title="RESULT CACHE",
+        )
+        for entry in cache.entries():
+            table.add_row(
+                [
+                    entry["fingerprint"][:12],
+                    entry.get("kind", "?"),
+                    str(entry.get("run_id", "?"))[:8],
+                    str(entry.get("hits", 0)),
+                    str(entry.get("stored_at_wall", "?"))[:19],
+                ]
+            )
+        print(table.render())
+        return 0
+    # invalidate
+    if not args.token:
+        print("error: invalidate needs a fingerprint or artifact hash")
+        return 2
+    try:
+        evicted = cache.invalidate(args.token)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+    db.save()
+    if evicted == 0:
+        print(f"no cache entries match {args.token!r}")
+        return 1
+    noun = "entry" if evicted == 1 else "entries"
+    print(f"evicted {evicted} cache {noun}; "
+          "dependent runs will re-execute on next launch")
     return 0
 
 

@@ -21,7 +21,7 @@ from repro.common.hashing import (
     short_hash,
 )
 from repro.common.ids import new_uuid, deterministic_uuid
-from repro.common.jsonutil import canonical_dumps, dumps, loads
+from repro.common.jsonutil import canonical_dumps, dumps, loads, stable_dumps
 from repro.common.rng import RngStream, derive_seed
 from repro.common.tables import TextTable
 from repro.common.timeutil import iso_from_timestamp, iso_now
@@ -48,6 +48,7 @@ __all__ = [
     "new_uuid",
     "deterministic_uuid",
     "canonical_dumps",
+    "stable_dumps",
     "dumps",
     "loads",
     "RngStream",

@@ -76,6 +76,15 @@ def sha256_bytes(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+def sha256_text(text: str) -> str:
+    """Return the hex SHA-256 digest of a text string (UTF-8 encoded).
+
+    This is the fingerprint primitive for run specs: a canonical-JSON
+    serialization goes in, a stable content address comes out.
+    """
+    return sha256_bytes(text.encode("utf-8"))
+
+
 def short_hash(value: str, length: int = 8) -> str:
     """Return a short, human-friendly prefix of a hex digest."""
     if length <= 0:

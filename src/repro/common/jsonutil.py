@@ -11,11 +11,37 @@ from __future__ import annotations
 import base64
 import datetime
 import json
+import math
 from typing import Any
 
 _BYTES_TAG = "$bytes"
 _DATETIME_TAG = "$datetime"
 _SET_TAG = "$set"
+
+
+def _normalize_numbers(value: Any) -> Any:
+    """Collapse numerically-equal values to one canonical representation.
+
+    ``2`` and ``2.0`` must serialize identically or a parameter's Python
+    type would silently change a run's fingerprint; ``-0.0`` folds into
+    ``0``.  Non-finite floats have no JSON form and would make equal
+    specs incomparable, so they are rejected outright.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(
+                f"non-finite number {value!r} has no canonical JSON form"
+            )
+        if value == int(value):
+            return int(value)
+        return value
+    if isinstance(value, dict):
+        return {k: _normalize_numbers(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize_numbers(v) for v in value]
+    return value
 
 
 def _encode_special(value: Any) -> Any:
@@ -53,14 +79,33 @@ def dumps(value: Any, indent: int = None) -> str:
     return json.dumps(_encode_special(value), indent=indent)
 
 
-def canonical_dumps(value: Any) -> str:
-    """Serialize to a canonical JSON form suitable for hashing.
+def stable_dumps(value: Any) -> str:
+    """Deterministic serialization (sorted keys, minimal separators)
+    that round-trips *exactly*.
 
-    Keys are sorted and separators are minimal so equal values always
-    serialize to equal strings.
+    The persistence twin of :func:`canonical_dumps`: stable output for
+    diffable on-disk files, but no number normalization — a stored
+    ``2.0`` must come back a float, not an int.  Hash :func:`canonical_dumps`
+    output; persist this one.
     """
     return json.dumps(
         _encode_special(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def canonical_dumps(value: Any) -> str:
+    """Serialize to a canonical JSON form suitable for hashing.
+
+    Keys are sorted, separators are minimal, and numbers are normalized
+    (``2.0`` → ``2``, ``-0.0`` → ``0``, NaN/inf rejected) so equal
+    values — regardless of dict insertion order or int/float spelling —
+    always serialize to equal strings.
+    """
+    return json.dumps(
+        _normalize_numbers(_encode_special(value)),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
     )
 
 

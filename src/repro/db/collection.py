@@ -30,7 +30,10 @@ class Collection:
     def __init__(self, name: str):
         self.name = name
         self._documents: Dict[str, Dict[str, Any]] = {}
-        self._unique_indexes: List[str] = []
+        #: field → {index key → doc id}.  The map *is* the index: it
+        #: enforces uniqueness at O(1) per write and serves equality
+        #: lookups on the field without scanning the collection.
+        self._unique_indexes: Dict[str, Dict[Any, str]] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------- indexes
@@ -54,25 +57,61 @@ class Collection:
                         f"{field!r}"
                     )
                 seen[key] = doc_id
-            if field not in self._unique_indexes:
-                self._unique_indexes.append(field)
+            self._unique_indexes[field] = seen
 
     def _check_unique(self, document: Dict[str, Any], ignore_id=None) -> None:
-        for field in self._unique_indexes:
+        for field, index in self._unique_indexes.items():
             value = get_path(document, field)
             if value is _MISSING or _unset(value):
                 continue
-            for doc_id, existing in self._documents.items():
-                if doc_id == ignore_id:
-                    continue
-                other = get_path(existing, field)
-                if other is not _MISSING and _index_key(
-                    other
-                ) == _index_key(value):
-                    raise DuplicateError(
-                        f"duplicate value for unique field {field!r}: "
-                        f"{value!r}"
-                    )
+            holder = index.get(_index_key(value))
+            if holder is not None and holder != ignore_id:
+                raise DuplicateError(
+                    f"duplicate value for unique field {field!r}: "
+                    f"{value!r}"
+                )
+
+    def _index_add(self, document: Dict[str, Any]) -> None:
+        for field, index in self._unique_indexes.items():
+            value = get_path(document, field)
+            if value is _MISSING or _unset(value):
+                continue
+            index[_index_key(value)] = document["_id"]
+
+    def _index_remove(self, document: Dict[str, Any]) -> None:
+        for field, index in self._unique_indexes.items():
+            value = get_path(document, field)
+            if value is _MISSING or _unset(value):
+                continue
+            key = _index_key(value)
+            if index.get(key) == document["_id"]:
+                del index[key]
+
+    def _candidates(self, query: Dict[str, Any]):
+        """The documents a query can possibly match, cheaply.
+
+        Equality on ``_id`` or on a uniquely-indexed field pins the
+        search to at most one document without touching the rest of the
+        collection; anything else (operators, unindexed fields) falls
+        back to a full scan.  Every candidate is still filtered through
+        ``matches``, so this is purely an access-path decision.
+        """
+        for field in ("_id", *self._unique_indexes):
+            if field not in query:
+                continue
+            value = query[field]
+            if isinstance(value, (dict, list)) or _unset(value):
+                continue  # operator / non-scalar / sparse: no fast path
+            if field == "_id":
+                doc_id = value if value in self._documents else None
+            else:
+                doc_id = self._unique_indexes[field].get(
+                    _index_key(value)
+                )
+            if doc_id is None or doc_id not in self._documents:
+                return []
+            return [self._documents[doc_id]]
+        return self._documents.values()
 
     # -------------------------------------------------------------- insert
 
@@ -87,6 +126,7 @@ class Collection:
                 raise DuplicateError(f"duplicate _id: {doc_id}")
             self._check_unique(doc)
             self._documents[doc_id] = doc
+            self._index_add(doc)
             return doc_id
 
     def insert_many(self, documents: Sequence[Dict[str, Any]]) -> List[str]:
@@ -106,7 +146,7 @@ class Collection:
         with self._lock:
             found = [
                 copy.deepcopy(doc)
-                for doc in self._documents.values()
+                for doc in self._candidates(query)
                 if matches(doc, query)
             ]
         if sort:
@@ -127,7 +167,7 @@ class Collection:
         query = query or {}
         with self._lock:
             return sum(
-                1 for doc in self._documents.values() if matches(doc, query)
+                1 for doc in self._candidates(query) if matches(doc, query)
             )
 
     def distinct(self, field: str, query=None) -> List[Any]:
@@ -152,13 +192,15 @@ class Collection:
         Returns True when a document was updated.
         """
         with self._lock:
-            for doc in self._documents.values():
+            for doc in self._candidates(query):
                 if matches(doc, query):
                     candidate = copy.deepcopy(doc)
                     _apply_update(candidate, update)
                     self._check_unique(candidate, ignore_id=doc["_id"])
+                    self._index_remove(doc)
                     doc.clear()
                     doc.update(candidate)
+                    self._index_add(doc)
                     return True
             return False
 
@@ -172,8 +214,10 @@ class Collection:
                     candidate = copy.deepcopy(doc)
                     _apply_update(candidate, update)
                     self._check_unique(candidate, ignore_id=doc["_id"])
+                    self._index_remove(doc)
                     doc.clear()
                     doc.update(candidate)
+                    self._index_add(doc)
                     count += 1
             return count
 
@@ -181,12 +225,15 @@ class Collection:
         self, query: Dict[str, Any], document: Dict[str, Any]
     ) -> bool:
         with self._lock:
-            for doc_id, doc in self._documents.items():
+            for doc in self._candidates(query):
                 if matches(doc, query):
+                    doc_id = doc["_id"]
                     replacement = copy.deepcopy(document)
                     replacement["_id"] = doc_id
                     self._check_unique(replacement, ignore_id=doc_id)
+                    self._index_remove(doc)
                     self._documents[doc_id] = replacement
+                    self._index_add(replacement)
                     return True
             return False
 
@@ -194,21 +241,23 @@ class Collection:
 
     def delete_one(self, query: Dict[str, Any]) -> bool:
         with self._lock:
-            for doc_id, doc in self._documents.items():
+            for doc in self._candidates(query):
                 if matches(doc, query):
-                    del self._documents[doc_id]
+                    self._index_remove(doc)
+                    del self._documents[doc["_id"]]
                     return True
             return False
 
     def delete_many(self, query: Dict[str, Any]) -> int:
         with self._lock:
             doomed = [
-                doc_id
-                for doc_id, doc in self._documents.items()
+                doc
+                for doc in self._documents.values()
                 if matches(doc, query)
             ]
-            for doc_id in doomed:
-                del self._documents[doc_id]
+            for doc in doomed:
+                self._index_remove(doc)
+                del self._documents[doc["_id"]]
             return len(doomed)
 
     # ---------------------------------------------------------------- misc

@@ -13,7 +13,7 @@ import threading
 from typing import Dict, List, Optional
 
 from repro.common.errors import ValidationError
-from repro.common.jsonutil import canonical_dumps, loads
+from repro.common.jsonutil import loads, stable_dumps
 from repro.db.collection import Collection
 from repro.db.filestore import FileStore
 
@@ -88,7 +88,7 @@ class Database:
                 tmp = path + ".tmp"
                 with open(tmp, "w", encoding="utf-8") as handle:
                     for doc in coll.all_documents():
-                        handle.write(canonical_dumps(doc))
+                        handle.write(stable_dumps(doc))
                         handle.write("\n")
                 os.replace(tmp, path)
 

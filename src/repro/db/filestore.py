@@ -97,6 +97,26 @@ class FileStore:
         with open(destination, "wb") as handle:
             handle.write(data)
 
+    # -------------------------------------------------------------- delete
+
+    def delete(self, digest: str) -> bool:
+        """Drop a blob (and its metadata) from the store.
+
+        Content addressing makes deletion safe for corruption recovery:
+        a blob whose bytes no longer match its digest is garbage, and
+        removing it lets the next ``put_bytes`` of the pristine content
+        re-populate the same address.  Returns True when a blob existed.
+        """
+        with self._lock:
+            self._metadata.pop(digest, None)
+            if self.root is None:
+                return self._memory.pop(digest, None) is not None
+            path = self._blob_path(digest)
+            if not os.path.isfile(path):
+                return False
+            os.remove(path)
+            return True
+
     # ---------------------------------------------------------------- query
 
     def exists(self, digest: str) -> bool:

@@ -71,10 +71,17 @@ class RegisteredTask:
     def apply_async(
         self,
         args: Tuple = (),
-        kwargs: Dict[str, Any] = None,
-        timeout: float = None,
+        kwargs: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+        dedup_key: Optional[str] = None,
     ) -> AsyncResult:
-        """Enqueue an invocation; returns the result handle immediately."""
+        """Enqueue an invocation; returns the result handle immediately.
+
+        ``dedup_key`` opts into single-flight coalescing: if an
+        invocation with the same key is already in flight, no new task
+        is enqueued and the returned handle subscribes to the in-flight
+        leader's result.
+        """
         return self.app.send_task(
             self.name,
             args=args,
@@ -82,6 +89,7 @@ class RegisteredTask:
             timeout=self.timeout if timeout is None else timeout,
             max_retries=self.max_retries,
             retry_policy=self.retry_policy,
+            dedup_key=dedup_key,
         )
 
 
@@ -129,9 +137,9 @@ class SchedulerApp:
 
     def task(
         self,
-        name: str = None,
+        name: Optional[str] = None,
         max_retries: int = 0,
-        timeout: float = None,
+        timeout: Optional[float] = None,
         retry_policy: Optional[RetryPolicy] = None,
     ) -> Callable:
         """Decorator registering a function as a named task.
@@ -169,10 +177,11 @@ class SchedulerApp:
         self,
         name: str,
         args: Tuple = (),
-        kwargs: Dict[str, Any] = None,
-        timeout: float = None,
+        kwargs: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
         max_retries: int = 0,
         retry_policy: Optional[RetryPolicy] = None,
+        dedup_key: Optional[str] = None,
     ) -> AsyncResult:
         if name not in self._tasks:
             raise NotFoundError(f"no task registered as {name!r}")
@@ -186,7 +195,27 @@ class SchedulerApp:
             ),
             retry_policy=retry_policy,
             trace_context=get_tracer().current_context_dict(),
+            dedup_key=dedup_key,
         )
+        if dedup_key is not None:
+            leader = self.broker.singleflight.acquire(
+                dedup_key, message.task_id, is_active=self._task_in_flight
+            )
+            if leader is not None:
+                # Coalesce: the follower's handle subscribes to the
+                # leader's result; nothing new enters the queue.
+                get_metrics().counter(
+                    "scheduler_coalesced_total",
+                    "Submissions coalesced onto an in-flight "
+                    "single-flight leader",
+                ).inc(app=self.name)
+                get_event_log().emit(
+                    "task.coalesced",
+                    task_name=name,
+                    dedup_key=dedup_key,
+                    leader_task_id=leader,
+                )
+                return AsyncResult(leader, self.backend)
         self.backend.create(message.task_id)
         get_metrics().counter(
             "scheduler_tasks_submitted_total",
@@ -268,10 +297,20 @@ class SchedulerApp:
 
     # ------------------------------------------------------------ execution
 
+    def _task_in_flight(self, task_id: str) -> bool:
+        """Is a task id still a live single-flight leader?"""
+        try:
+            return not self.backend.state(task_id).is_terminal
+        except NotFoundError:
+            return False
+
     def _execute(self, message: TaskMessage) -> None:
         if self.broker.is_revoked(message.task_id):
             self.backend.transition(
                 message.task_id, TaskState.REVOKED, error="revoked"
+            )
+            self.broker.singleflight.release(
+                message.dedup_key, message.task_id
             )
             return
         with get_tracer().span(
@@ -286,6 +325,12 @@ class SchedulerApp:
             span.set_attribute(
                 "state", self.backend.state(message.task_id).value
             )
+        # _execute_message only returns once the task is terminal, so
+        # the key is free for the next identical submission (which will
+        # normally be served by the result cache instead).
+        self.broker.singleflight.release(
+            message.dedup_key, message.task_id
+        )
 
     def _execute_message(self, message: TaskMessage) -> None:
         """Run a message to a terminal state through one retry loop.
@@ -503,6 +548,9 @@ class SchedulerApp:
                     )
                     # The crashed workers never decremented the in-flight
                     # count; parking the task finishes it.
+                    self.broker.singleflight.release(
+                        message.dedup_key, message.task_id
+                    )
                     self._task_done()
                 else:
                     if state is not TaskState.PENDING:

@@ -98,12 +98,12 @@ class BatchJob:
         # execute thread can parent its span correctly.
         self.trace_context = get_tracer().current_context_dict()
 
-    def wait(self, timeout: float = None) -> JobState:
+    def wait(self, timeout: Optional[float] = None) -> JobState:
         if not self._done.wait(timeout=timeout):
             raise StateError(f"job {self.job_id} not finished in time")
         return self.state
 
-    def get(self, timeout: float = None) -> Any:
+    def get(self, timeout: Optional[float] = None) -> Any:
         state = self.wait(timeout=timeout)
         if state is JobState.COMPLETED:
             return self.result

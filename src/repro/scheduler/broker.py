@@ -1,7 +1,11 @@
 """The message broker: a thread-safe FIFO of task messages.
 
 Celery's broker (RabbitMQ/Redis) reduces, for a single host, to a queue of
-serializable messages; this is that queue.
+serializable messages; this is that queue.  It also hosts the
+**single-flight registry**: tasks submitted with an identical ``dedup_key``
+while one is still in flight coalesce onto the first submission (the
+*leader*) instead of enqueuing duplicate work — followers simply subscribe
+to the leader's result.
 """
 
 from __future__ import annotations
@@ -9,7 +13,7 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.common.ids import new_uuid
 from repro.scheduler.lease import DEFAULT_LEASE_TTL, LeaseManager
@@ -28,6 +32,10 @@ class TaskMessage:
     ``retries`` counts failed attempts consumed from the retry budget;
     ``deliveries`` counts lease acquisitions (how many workers have picked
     the message up), which is what bounds redelivery after crashes.
+
+    ``dedup_key`` opts the message into single-flight coalescing: while
+    this message is in flight, later submissions carrying the same key
+    are not enqueued at all — they receive this message's result handle.
     """
 
     task_name: str
@@ -40,6 +48,60 @@ class TaskMessage:
     deliveries: int = 0
     retry_policy: Optional[RetryPolicy] = None
     trace_context: Optional[Dict[str, str]] = None
+    dedup_key: Optional[str] = None
+
+
+class SingleFlight:
+    """In-flight dedup-key → leader-task registry.
+
+    The registry only tracks *in-flight* work: once a leader reaches a
+    terminal state it is released (completed results are the result
+    cache's job, not the broker's).  ``acquire`` is atomic — exactly one
+    of N concurrent submissions with the same key becomes the leader.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._leaders: Dict[str, str] = {}
+
+    def acquire(
+        self,
+        key: str,
+        task_id: str,
+        is_active: Optional[Callable[[str], bool]] = None,
+    ) -> Optional[str]:
+        """Claim leadership of ``key`` for ``task_id``.
+
+        Returns None when ``task_id`` became the leader (the caller must
+        enqueue the message), or the current leader's task id when the
+        submission coalesces.  ``is_active`` guards against a stale
+        leader that finished without releasing (e.g. a racing terminal
+        transition): an inactive leader is replaced.
+        """
+        with self._lock:
+            leader = self._leaders.get(key)
+            if leader is not None and (
+                is_active is None or is_active(leader)
+            ):
+                return leader
+            self._leaders[key] = task_id
+            return None
+
+    def release(self, key: Optional[str], task_id: str) -> None:
+        """Drop leadership, but only if ``task_id`` still holds it."""
+        if key is None:
+            return
+        with self._lock:
+            if self._leaders.get(key) == task_id:
+                del self._leaders[key]
+
+    def leader(self, key: str) -> Optional[str]:
+        with self._lock:
+            return self._leaders.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._leaders)
 
 
 class Broker:
@@ -54,11 +116,14 @@ class Broker:
         self._revoked = set()
         self._lock = threading.Lock()
         self.leases = LeaseManager(ttl=lease_ttl)
+        self.singleflight = SingleFlight()
 
     def publish(self, message: TaskMessage) -> None:
         self._queue.put(message)
 
-    def consume(self, timeout: float = None) -> Optional[TaskMessage]:
+    def consume(
+        self, timeout: Optional[float] = None
+    ) -> Optional[TaskMessage]:
         """Pop the next message, or None on timeout / empty non-blocking."""
         try:
             if timeout is None:

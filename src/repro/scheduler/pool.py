@@ -9,7 +9,7 @@ can switch between the two scheduler styles with one line.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Iterable, List
+from typing import Any, Callable, Iterable, List, Optional
 
 from repro.common.errors import StateError
 
@@ -20,9 +20,11 @@ class PoolResult:
     def __init__(self):
         self._event = threading.Event()
         self._value: Any = None
-        self._error: BaseException = None
+        self._error: Optional[BaseException] = None
 
-    def _complete(self, value: Any = None, error: BaseException = None):
+    def _complete(
+        self, value: Any = None, error: Optional[BaseException] = None
+    ):
         self._value = value
         self._error = error
         self._event.set()
@@ -35,7 +37,7 @@ class PoolResult:
             raise StateError("result not ready")
         return self._error is None
 
-    def get(self, timeout: float = None) -> Any:
+    def get(self, timeout: Optional[float] = None) -> Any:
         if not self._event.wait(timeout=timeout):
             raise StateError("timed out waiting for pool result")
         if self._error is not None:
@@ -55,7 +57,7 @@ class SimplePool:
         self._lock = threading.Lock()
 
     def apply_async(
-        self, func: Callable, args: tuple = (), kwds: dict = None
+        self, func: Callable, args: tuple = (), kwds: Optional[dict] = None
     ) -> PoolResult:
         with self._lock:
             if self._closed:

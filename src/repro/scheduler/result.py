@@ -50,7 +50,7 @@ class ResultBackend:
         task_id: str,
         state: TaskState,
         result: Any = None,
-        error: str = None,
+        error: Optional[str] = None,
     ) -> None:
         chaos.fire("backend.transition", task_id=task_id, dst=state.value)
         with self._lock:
@@ -88,7 +88,7 @@ class ResultBackend:
             )
             self._lock.notify_all()
 
-    def dead_letter(self, message, error: str = None) -> None:
+    def dead_letter(self, message, error: Optional[str] = None) -> None:
         """Park a task whose retry/redelivery budget is exhausted.
 
         Besides the terminal ``DEAD_LETTER`` transition, a standalone
@@ -135,7 +135,9 @@ class ResultBackend:
         with self._lock:
             return dict(self._get(task_id))
 
-    def wait(self, task_id: str, timeout: float = None) -> TaskState:
+    def wait(
+        self, task_id: str, timeout: Optional[float] = None
+    ) -> TaskState:
         """Block until the task reaches a terminal state (or timeout)."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
@@ -173,7 +175,7 @@ class AsyncResult:
     def successful(self) -> bool:
         return self.state is TaskState.SUCCESS
 
-    def get(self, timeout: float = None) -> Any:
+    def get(self, timeout: Optional[float] = None) -> Any:
         """Wait for completion and return the result.
 
         Raises :class:`StateError` carrying the task error when the task

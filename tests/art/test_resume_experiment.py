@@ -20,9 +20,9 @@ def record_executions(monkeypatch):
     executed = []
     original_run = Gem5Run.run
 
-    def recording_run(self):
+    def recording_run(self, *args, **kwargs):
         executed.append(self.run_id)
-        return original_run(self)
+        return original_run(self, *args, **kwargs)
 
     monkeypatch.setattr(Gem5Run, "run", recording_run)
     return executed

@@ -168,8 +168,9 @@ class _SlowRun:
 
     run_id = "slow-run"
     timeout = 0.05
+    fingerprint = ""
 
-    def run(self):
+    def run(self, use_cache=True):
         import time
 
         time.sleep(2.0)

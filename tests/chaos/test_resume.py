@@ -52,9 +52,9 @@ def test_interrupted_experiment_resumes_remaining_runs(monkeypatch):
     executed = []
     original_run = Gem5Run.run
 
-    def recording_run(self):
+    def recording_run(self, *args, **kwargs):
         executed.append(self.run_id)
-        return original_run(self)
+        return original_run(self, *args, **kwargs)
 
     monkeypatch.setattr(Gem5Run, "run", recording_run)
     summaries = loaded.resume(backend="inline")

@@ -62,3 +62,65 @@ def test_roundtrip_property(value):
 @given(json_values)
 def test_canonical_is_deterministic(value):
     assert canonical_dumps(value) == canonical_dumps(value)
+
+
+# ----------------------------------------------------- number normalization
+
+
+def test_canonical_normalizes_integral_floats():
+    assert canonical_dumps({"n": 2.0}) == canonical_dumps({"n": 2})
+    assert canonical_dumps({"n": -0.0}) == canonical_dumps({"n": 0})
+    assert canonical_dumps([1.0, 2.5]) == '[1,2.5]'
+
+
+def test_canonical_normalizes_nested_numbers():
+    assert canonical_dumps({"a": {"b": [8.0]}}) == '{"a":{"b":[8]}}'
+
+
+def test_canonical_keeps_bools_distinct_from_ints():
+    # bool is an int subclass; normalization must not collapse them.
+    assert canonical_dumps({"x": True}) != canonical_dumps({"x": 1})
+    assert canonical_dumps({"x": True}) == '{"x":true}'
+
+
+def test_canonical_rejects_non_finite_floats():
+    import math
+
+    import pytest
+
+    for bad in (math.nan, math.inf, -math.inf):
+        with pytest.raises(ValueError):
+            canonical_dumps({"x": bad})
+
+
+def test_plain_dumps_preserves_float_spelling():
+    # Only the *canonical* form normalizes; round-trip serialization
+    # must hand back exactly what was stored.
+    assert loads(dumps({"n": 2.0})) == {"n": 2.0}
+    assert isinstance(loads(dumps({"n": 2.0}))["n"], float)
+
+
+@given(json_values)
+def test_canonical_is_insensitive_to_key_order(value):
+    def permute(node):
+        if isinstance(node, dict):
+            return {
+                k: permute(v) for k, v in sorted(
+                    node.items(), reverse=True
+                )
+            }
+        if isinstance(node, list):
+            return [permute(item) for item in node]
+        return node
+
+    assert canonical_dumps(permute(value)) == canonical_dumps(value)
+
+
+def test_stable_dumps_round_trips_floats_exactly():
+    from repro.common.jsonutil import stable_dumps
+
+    value = {"b": 2.0, "a": 1}
+    text = stable_dumps(value)
+    assert text == '{"a":1,"b":2.0}'  # sorted, minimal, unnormalized
+    reread = loads(text)
+    assert isinstance(reread["b"], float)

@@ -1,0 +1,146 @@
+"""Tests for single-flight dedup: the broker registry and the app-level
+coalescing of identically-keyed submissions."""
+
+import threading
+import time
+
+import pytest
+
+from repro.scheduler import SchedulerApp
+from repro.scheduler.broker import SingleFlight
+
+
+# ------------------------------------------------------------- registry
+
+
+def test_first_acquire_wins_then_coalesces():
+    flight = SingleFlight()
+    assert flight.acquire("key", "t1") is None
+    assert flight.acquire("key", "t2") == "t1"
+    assert flight.acquire("key", "t3") == "t1"
+    assert flight.leader("key") == "t1"
+    assert len(flight) == 1
+
+
+def test_release_frees_the_key():
+    flight = SingleFlight()
+    flight.acquire("key", "t1")
+    flight.release("key", "t1")
+    assert flight.leader("key") is None
+    assert flight.acquire("key", "t2") is None  # new leader
+
+
+def test_release_is_owner_checked_and_none_tolerant():
+    flight = SingleFlight()
+    flight.acquire("key", "t1")
+    flight.release("key", "t2")  # not the holder: no-op
+    assert flight.leader("key") == "t1"
+    flight.release(None, "t1")  # undeduped messages release None keys
+    flight.release("unknown", "t1")
+
+
+def test_inactive_leader_is_replaced():
+    flight = SingleFlight()
+    flight.acquire("key", "stale")
+    # A leader that already reached a terminal state without releasing
+    # (racing transition) must not capture followers forever.
+    assert flight.acquire("key", "t2", is_active=lambda t: False) is None
+    assert flight.leader("key") == "t2"
+    assert flight.acquire("key", "t3", is_active=lambda t: True) == "t2"
+
+
+def test_distinct_keys_are_independent():
+    flight = SingleFlight()
+    assert flight.acquire("a", "t1") is None
+    assert flight.acquire("b", "t2") is None
+    assert len(flight) == 2
+
+
+def test_concurrent_acquire_elects_exactly_one_leader():
+    flight = SingleFlight()
+    outcomes = []
+    barrier = threading.Barrier(8)
+
+    def contend(task_id):
+        barrier.wait()
+        outcomes.append(flight.acquire("key", task_id))
+
+    threads = [
+        threading.Thread(target=contend, args=(f"t{i}",))
+        for i in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    leaders = [result for result in outcomes if result is None]
+    assert len(leaders) == 1
+    followers = {result for result in outcomes if result is not None}
+    assert followers == {flight.leader("key")}
+
+
+# ------------------------------------------------------------ app level
+
+
+@pytest.fixture
+def app():
+    application = SchedulerApp(worker_count=2)
+    yield application
+    application.shutdown()
+
+
+def test_coalesced_submission_shares_the_leader_result(app):
+    release = threading.Event()
+
+    @app.task(name="slow")
+    def slow(value):
+        release.wait(timeout=5)
+        return value * 2
+
+    leader = slow.apply_async(args=(21,), dedup_key="fp")
+    follower = slow.apply_async(args=(999,), dedup_key="fp")
+    # The follower is the leader's handle: same task, one execution.
+    assert follower.task_id == leader.task_id
+    release.set()
+    assert leader.get(timeout=5) == 42
+    assert follower.get(timeout=5) == 42
+
+
+def test_different_keys_do_not_coalesce(app):
+    @app.task(name="echo")
+    def echo(value):
+        return value
+
+    one = echo.apply_async(args=(1,), dedup_key="a")
+    two = echo.apply_async(args=(2,), dedup_key="b")
+    assert one.task_id != two.task_id
+    assert one.get(timeout=5) == 1
+    assert two.get(timeout=5) == 2
+
+
+def test_unkeyed_submissions_never_coalesce(app):
+    @app.task(name="plain")
+    def plain(value):
+        return value
+
+    one = plain.apply_async(args=(1,))
+    two = plain.apply_async(args=(1,))
+    assert one.task_id != two.task_id
+
+
+def test_key_is_released_after_completion(app):
+    @app.task(name="quick")
+    def quick(value):
+        return value
+
+    first = quick.apply_async(args=(1,), dedup_key="fp")
+    assert first.get(timeout=5) == 1
+    # The flight is over; the same key starts a fresh execution.
+    deadline = time.monotonic() + 5
+    while app.broker.singleflight.leader("fp") and (
+        time.monotonic() < deadline
+    ):
+        time.sleep(0.01)
+    second = quick.apply_async(args=(2,), dedup_key="fp")
+    assert second.task_id != first.task_id
+    assert second.get(timeout=5) == 2

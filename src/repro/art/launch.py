@@ -189,6 +189,7 @@ class Experiment:
         workers: int = 4,
         resume: bool = False,
         use_cache: bool = True,
+        substrate: str = "threads",
     ) -> List[Dict[str, Any]]:
         """Execute every run via the chosen backend and return summaries.
 
@@ -205,6 +206,11 @@ class Experiment:
         before each simulation and single-flights identical concurrent
         runs; ``use_cache=False`` (the CLI's ``--no-cache``) forces every
         point to simulate.
+
+        ``substrate`` (scheduler backend only) picks where simulations
+        execute: ``"threads"`` in-process, ``"processes"`` sharded
+        across OS worker processes for real CPU parallelism
+        (the CLI's ``--substrate processes``).
         """
         if self._runs is None:
             self.create_runs()
@@ -215,7 +221,12 @@ class Experiment:
                 run for run in self._runs if run.run_id in pending_ids
             ]
         return self._execute_pending(
-            pending, backend, workers, phase="launch", use_cache=use_cache
+            pending,
+            backend,
+            workers,
+            phase="launch",
+            use_cache=use_cache,
+            substrate=substrate,
         )
 
     def resume(
@@ -224,6 +235,7 @@ class Experiment:
         workers: int = 4,
         retry_failures: bool = False,
         use_cache: bool = True,
+        substrate: str = "threads",
     ) -> List[Dict[str, Any]]:
         """Re-launch only the runs an interrupted campaign still owes.
 
@@ -244,7 +256,12 @@ class Experiment:
             run for run in self._runs if run.run_id in pending_ids
         ]
         return self._execute_pending(
-            pending, backend, workers, phase="resume", use_cache=use_cache
+            pending,
+            backend,
+            workers,
+            phase="resume",
+            use_cache=use_cache,
+            substrate=substrate,
         )
 
     def pending_runs(self, retry_failures: bool = False) -> List[str]:
@@ -268,11 +285,16 @@ class Experiment:
         workers: int,
         phase: str,
         use_cache: bool = True,
+        substrate: str = "threads",
     ) -> List[Dict[str, Any]]:
         if backend not in ("pool", "scheduler", "inline"):
             raise ValidationError(
                 f"unknown backend {backend!r}; "
                 "one of ('pool', 'scheduler', 'inline')"
+            )
+        if substrate != "threads" and backend != "scheduler":
+            raise ValidationError(
+                f"substrate {substrate!r} requires the scheduler backend"
             )
         span = telemetry.get_tracer().span(
             "experiment",
@@ -283,6 +305,7 @@ class Experiment:
                 "phase": phase,
                 "runs": len(pending),
                 "use_cache": use_cache,
+                "substrate": substrate,
             },
         )
         telemetry.get_event_log().emit(
@@ -311,6 +334,7 @@ class Experiment:
                         pending,
                         worker_count=workers,
                         use_cache=use_cache,
+                        substrate=substrate,
                     )
                 else:
                     for run in pending:

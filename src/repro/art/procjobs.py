@@ -1,0 +1,197 @@
+"""Pickle-safe job payloads: shipping a run to a worker process.
+
+A :class:`~repro.art.run.Gem5Run` holds a live database handle, so the
+run object itself can never cross a process boundary.  What *can* cross
+is everything the simulation actually consumes — and the content-addressed
+:class:`~repro.art.spec.RunSpec` (PR 4) already enumerates exactly that:
+the input artifacts and the canonicalized parameters.  This module builds
+a self-contained **payload** from those inputs in the parent (where the
+database lives), and executes it in the worker (where no database
+exists), returning plain data the parent archives.
+
+Division of labor:
+
+- parent (:func:`payload_for_run` / :func:`envelope_for_run`): resolve
+  artifact payloads/metadata into plain dicts; dedup, caching and all
+  database writes stay here;
+- worker (:func:`execute_run_payload`): rebuild the simulator inputs
+  from the payload, simulate, and return ``{"summary", "stats_txt",
+  "stats_fingerprint"}`` — the parent uploads the stats blob and updates
+  the run document.
+
+Payloads carry an optional ``repeats`` count that re-runs the
+(deterministic) simulation and asserts bit-identical statistics each
+time — work amplification for benchmarking that doubles as a
+determinism check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro import telemetry
+from repro.common.errors import StateError, ValidationError
+from repro.common.hashing import sha256_text
+from repro.art.artifact import Artifact, load_disk_image
+from repro.scheduler.procpool import JobEnvelope
+
+#: The dotted-path target every run envelope resolves to in the worker.
+RUN_TARGET = "repro.art.procjobs:execute_run_payload"
+
+#: Payload schema version (payloads cross process boundaries, not
+#: release boundaries, but a version makes mismatches loud).
+PAYLOAD_VERSION = 1
+
+
+def payload_for_run(run, repeats: int = 1) -> Dict[str, Any]:
+    """Build the self-contained, picklable payload for one run.
+
+    Resolves every artifact reference *now*, in the parent — the worker
+    never sees the database.  ``repeats`` re-runs the simulation that
+    many times in the worker, asserting identical stats each time.
+    """
+    if repeats < 1:
+        raise ValidationError("repeats must be >= 1")
+    payload: Dict[str, Any] = {
+        "version": PAYLOAD_VERSION,
+        "kind": run.kind,
+        "run_id": run.run_id,
+        "fingerprint": run.fingerprint,
+        "params": dict(run.params),
+        "repeats": repeats,
+    }
+    if run.kind == "fs":
+        gem5 = Artifact.load(run.db, run.artifacts["gem5"])
+        kernel = Artifact.load(run.db, run.artifacts["linux_binary"])
+        disk = Artifact.load(run.db, run.artifacts["disk_image"])
+        payload["build"] = {
+            "version": gem5.metadata.get("version", "20.1.0.4"),
+            "isa": gem5.metadata.get("isa", "X86"),
+            "variant": gem5.metadata.get("variant", "opt"),
+        }
+        payload["kernel_version"] = kernel.metadata["kernel_version"]
+        payload["disk_image"] = load_disk_image(disk).to_dict()
+    elif run.kind == "gpu":
+        pass  # params alone describe a GPU run (workload is a catalog key)
+    else:
+        raise ValidationError(f"unknown run kind {run.kind!r}")
+    return payload
+
+
+def envelope_for_run(
+    run,
+    repeats: int = 1,
+    with_telemetry: Optional[bool] = None,
+) -> JobEnvelope:
+    """Wrap a run's payload in a process-pool envelope.
+
+    The envelope's ``task_id`` is the run's instance id and its
+    ``fingerprint`` the run's content identity, so pool telemetry and
+    lease events correlate with run documents without a join table.
+    When ``with_telemetry`` is unset, the worker records telemetry
+    exactly when the parent currently does.
+    """
+    telemetry_on = (
+        telemetry.enabled() if with_telemetry is None else with_telemetry
+    )
+    return JobEnvelope(
+        target=RUN_TARGET,
+        args=(payload_for_run(run, repeats=repeats),),
+        task_id=run.run_id,
+        fingerprint=run.fingerprint,
+        telemetry=telemetry_on,
+    )
+
+
+def execute_run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side entry point: simulate a payload, return plain data.
+
+    Imported by dotted path inside a spawned worker process.  Runs the
+    simulation ``payload["repeats"]`` times and fails loudly if any
+    repeat produces different statistics — a deterministic simulator is
+    part of the reproducibility contract and process isolation is the
+    best place to catch violations.
+    """
+    kind = payload.get("kind")
+    if kind == "fs":
+        execute = _execute_fs
+    elif kind == "gpu":
+        execute = _execute_gpu
+    else:
+        raise ValidationError(f"unknown payload kind {kind!r}")
+    repeats = int(payload.get("repeats", 1))
+    summary, stats_txt = execute(payload)
+    fingerprint = sha256_text(stats_txt)
+    for _ in range(repeats - 1):
+        _, again = execute(payload)
+        if sha256_text(again) != fingerprint:
+            raise StateError(
+                f"non-deterministic simulation: run {payload['run_id']} "
+                "produced different stats on repeat"
+            )
+    return {
+        "summary": summary,
+        "stats_txt": stats_txt,
+        "stats_fingerprint": fingerprint,
+        "repeats": repeats,
+    }
+
+
+def _execute_fs(payload: Dict[str, Any]):
+    from repro.sim.buildinfo import Gem5Build
+    from repro.sim.config import SystemConfig
+    from repro.sim.simulator import Gem5Simulator, SimulationStatus
+    from repro.vfs.image import DiskImage
+
+    params = payload["params"]
+    build = Gem5Build(**payload["build"])
+    config = SystemConfig(
+        cpu_type=params["cpu_type"],
+        num_cpus=params["num_cpus"],
+        memory_system=params["memory_system"],
+        memory_tech=params["memory_tech"],
+        memory_channels=params["memory_channels"],
+    )
+    simulator = Gem5Simulator(build, config)
+    image = DiskImage.from_dict(payload["disk_image"])
+    result = simulator.run_fs(
+        kernel=payload["kernel_version"],
+        disk_image=image,
+        benchmark=params.get("benchmark"),
+        input_size=params.get("input_size"),
+        boot_type=params.get("boot_type", "systemd"),
+    )
+    summary = {
+        "simulation_status": result.status.value,
+        "reason": result.reason,
+        "sim_seconds": result.sim_seconds,
+        "boot_seconds": result.boot_seconds,
+        "workload_seconds": result.workload_seconds,
+        "instructions": result.instructions,
+        "config": result.config_summary,
+        "workload": result.workload_name,
+        "success": result.status is SimulationStatus.OK,
+    }
+    return summary, result.stats_txt()
+
+
+def _execute_gpu(payload: Dict[str, Any]):
+    from repro.gpu.config import GPUConfig
+    from repro.gpu.device import GPUDevice
+    from repro.gpu.workloads import get_gpu_workload
+
+    params = payload["params"]
+    workload = get_gpu_workload(params["workload"])
+    config = GPUConfig(**dict(params["gpu_config"]))
+    device = GPUDevice(config)
+    result = device.execute(workload.kernel, params["register_allocator"])
+    summary = {
+        "simulation_status": "ok",
+        "workload": workload.name,
+        "suite": workload.suite,
+        "register_allocator": result.allocator,
+        "shader_ticks": result.shader_ticks,
+        "occupancy_per_simd": result.occupancy_per_simd,
+        "success": True,
+    }
+    return summary, result.stats_txt()

@@ -295,6 +295,94 @@ class Gem5Run:
             self._archive_telemetry(span)
         return summary
 
+    def run_in_pool(
+        self, pool, use_cache: bool = True, repeats: int = 1
+    ) -> Dict[str, object]:
+        """Execute this run on a process-pool substrate.
+
+        The cache consult, status transitions, stats-blob upload and
+        cache store all happen here in the parent — the worker process
+        only simulates (see :mod:`repro.art.procjobs`).  Semantics match
+        :meth:`run`: a cache hit adopts without simulating, a worker
+        failure marks the run FAILED and re-raises, and the gem5art
+        timeout is enforced on the worker's host wall-clock seconds.
+        """
+        span = telemetry.get_tracer().span(
+            "run",
+            attributes={
+                "run_id": self.run_id,
+                "kind": self.kind,
+                "fingerprint": self.fingerprint,
+                "substrate": "processes",
+            },
+        )
+        try:
+            with span:
+                summary = self._run_or_adopt_in_pool(
+                    pool, use_cache, repeats, span
+                )
+                span.set_attribute("status", self.status.value)
+                span.set_attribute(
+                    "workload", summary.get("workload", "")
+                )
+        finally:
+            span.set_attribute("status", self.status.value)
+            telemetry.get_metrics().counter(
+                "runs_total", "gem5art runs by final status"
+            ).inc(outcome=self.status.value)
+            self._archive_telemetry(span)
+        return summary
+
+    def _run_or_adopt_in_pool(
+        self, pool, use_cache: bool, repeats: int, span
+    ) -> Dict[str, object]:
+        from repro.art.procjobs import envelope_for_run
+
+        cache = (
+            RunCache(self.db) if use_cache and self.fingerprint else None
+        )
+        if cache is not None:
+            entry = cache.consult(self.fingerprint)
+            if entry is not None:
+                span.set_attribute("cache", "hit")
+                return self.adopt_cached(entry)
+            span.set_attribute("cache", "miss")
+        envelope = envelope_for_run(self, repeats=repeats)
+        self._set_status(
+            RunStatus.RUNNING, extra={"started_at_wall": iso_now()}
+        )
+        handle = pool.submit(envelope)
+        try:
+            outcome = handle.result()
+        except Exception as error:
+            self.results = {"error": str(error)}
+            self._set_status(
+                RunStatus.FAILED,
+                self.results,
+                extra={"finished_at_wall": iso_now()},
+            )
+            raise
+        summary = dict(outcome["summary"])
+        stats_file_id = self.db.upload_file(
+            outcome["stats_txt"].encode("utf-8"),
+            filename=f"stats-{self.run_id}.txt",
+        )
+        summary["stats_file_id"] = stats_file_id
+        summary["stats_fingerprint"] = outcome["stats_fingerprint"]
+        summary["host_seconds"] = handle.host_seconds
+        summary["worker"] = handle.worker
+        finished = {"finished_at_wall": iso_now()}
+        if handle.host_seconds > self.timeout:
+            summary["timed_out"] = True
+            self.results = summary
+            self._set_status(RunStatus.TIMED_OUT, summary, extra=finished)
+            return summary
+        self.results = summary
+        self._set_status(RunStatus.DONE, summary, extra=finished)
+        if cache is not None and self.status is RunStatus.DONE:
+            cache.store(self.fingerprint, self.db.get_run(self.run_id))
+        return summary
+
     def _run_or_adopt(self, use_cache: bool, span) -> Dict[str, object]:
         cache = (
             RunCache(self.db) if use_cache and self.fingerprint else None

@@ -13,7 +13,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.art.cache import RunCache
 from repro.art.run import Gem5Run
+from repro.common.errors import ValidationError
 from repro.scheduler import (
+    ProcessPool,
     RetryPolicy,
     SchedulerApp,
     SimplePool,
@@ -62,6 +64,7 @@ def run_jobs_scheduler(
     timeout_per_job: Optional[float] = None,
     retry_policy: Optional[RetryPolicy] = None,
     use_cache: bool = True,
+    substrate: str = "threads",
 ) -> List[Dict[str, object]]:
     """Execute runs through the Celery-like scheduler app.
 
@@ -82,11 +85,31 @@ def run_jobs_scheduler(
     (now cached) result into its own run document.  ``use_cache=False``
     disables both the cache consult and the coalescing — every run
     simulates.
+
+    ``substrate`` picks where leader executions happen: ``"threads"``
+    runs them on the scheduler's own worker threads (GIL-bound but
+    zero-overhead), ``"processes"`` ships each leader's simulation to a
+    :class:`~repro.scheduler.ProcessPool` worker process for real CPU
+    parallelism.  Dedup, coalescing, caching and every database write
+    stay in the parent either way — only simulations cross the process
+    boundary.
     """
+    if substrate not in ("threads", "processes"):
+        raise ValidationError(
+            f"unknown substrate {substrate!r} "
+            "(expected 'threads' or 'processes')"
+        )
+    pool = (
+        ProcessPool(workers=worker_count)
+        if substrate == "processes"
+        else None
+    )
     app = SchedulerApp(name="gem5art", worker_count=worker_count)
 
     @app.task(name="gem5art.run_gem5_job", retry_policy=retry_policy)
     def run_gem5_job(index: int):
+        if pool is not None:
+            return runs[index].run_in_pool(pool, use_cache=use_cache)
         return runs[index].run(use_cache=use_cache)
 
     try:
@@ -148,6 +171,8 @@ def run_jobs_scheduler(
         return summaries
     finally:
         app.shutdown()
+        if pool is not None:
+            pool.shutdown()
 
 
 def run_jobs_batch(

@@ -73,6 +73,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--workers", type=int, default=8,
         help="scheduler worker threads for the experiment-backed path",
     )
+    _add_substrate_flag(boot)
     _add_cache_flags(boot)
 
     parsec = commands.add_parser(
@@ -119,6 +120,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--retry-failures", action="store_true",
         help="also re-queue runs that finished as failed/timed_out",
     )
+    _add_substrate_flag(resume)
     _add_cache_flags(resume)
 
     cache = commands.add_parser(
@@ -205,6 +207,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": _cmd_cache,
     }[args.command]
     return handler(args)
+
+
+def _add_substrate_flag(subparser) -> None:
+    """``--substrate threads|processes`` (scheduler backend only)."""
+    subparser.add_argument(
+        "--substrate", default="threads",
+        choices=("threads", "processes"),
+        help="where scheduler-backend simulations execute: in-process "
+        "worker threads (default) or OS worker processes for real CPU "
+        "parallelism",
+    )
 
 
 def _add_cache_flags(subparser) -> None:
@@ -326,6 +339,7 @@ def _cmd_boot_tests_experiment(args) -> int:
             backend="scheduler",
             workers=args.workers,
             use_cache=args.use_cache,
+            substrate=args.substrate,
         )
         counts = collections.Counter(
             (s or {}).get("simulation_status", "failed")
@@ -526,6 +540,7 @@ def _cmd_resume(args) -> int:
             workers=args.workers,
             retry_failures=args.retry_failures,
             use_cache=args.use_cache,
+            substrate=args.substrate,
         )
     except ReproError as error:
         print(f"error: {error}")

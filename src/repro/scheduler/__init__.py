@@ -11,6 +11,10 @@ evaluations, and threads share the in-process database):
   backend, and worker lifecycle management.
 - :class:`SimplePool` — a ``multiprocessing.Pool``-like fallback for users
   who want no scheduler at all (the paper's third option).
+- :class:`ProcessPool` — the *real* multiprocessing substrate: spawn-safe
+  worker processes fed pickle-safe :class:`JobEnvelope` s, with
+  lease-backed crash redelivery and telemetry merge-on-drain.  Selected
+  behind the scheduler with ``substrate="processes"``.
 """
 
 from repro.scheduler.states import TaskState
@@ -19,7 +23,13 @@ from repro.scheduler.retry import RetryPolicy, TaskOutcome
 from repro.scheduler.lease import DEFAULT_LEASE_TTL, Lease, LeaseManager
 from repro.scheduler.broker import Broker, TaskMessage
 from repro.scheduler.app import SchedulerApp
-from repro.scheduler.pool import SimplePool
+from repro.scheduler.pool import PoolResult, SimplePool
+from repro.scheduler.procpool import (
+    JobEnvelope,
+    ProcessPool,
+    ProcJobHandle,
+    WorkerJobError,
+)
 from repro.scheduler.batch import (
     BatchSystem,
     BatchJob,
@@ -41,6 +51,11 @@ __all__ = [
     "TaskMessage",
     "SchedulerApp",
     "SimplePool",
+    "PoolResult",
+    "JobEnvelope",
+    "ProcessPool",
+    "ProcJobHandle",
+    "WorkerJobError",
     "BatchSystem",
     "BatchJob",
     "JobDescription",

@@ -186,6 +186,9 @@ class BatchSystem:
         """Match idle jobs to free slots; highest priority first, then
         submission (job id) order — deterministic, as tests require."""
         with self._lock:
+            # Reap finished executor threads so a long-lived batch
+            # system doesn't accumulate one dead Thread per job ever run.
+            self._threads = [t for t in self._threads if t.is_alive()]
             get_metrics().gauge(
                 "batch_queue_depth", "Jobs queued or running"
             ).set(len(self._queue))

@@ -2,12 +2,24 @@
 
 The paper offers the Python multiprocessing library as the lighter-weight
 alternative to Celery.  :class:`SimplePool` mirrors the relevant API surface
-(`apply_async`, `map`, `close`, `join`) over a thread pool so launch scripts
-can switch between the two scheduler styles with one line.
+(`apply_async`, `map`, `close`, `join`) over a **fixed set of worker
+threads** so launch scripts can switch between the two scheduler styles
+with one line: a 480-job submission queues 480 envelopes, not 480 OS
+threads.  For real CPU parallelism over the GIL-bound simulator, use
+:class:`repro.scheduler.procpool.ProcessPool` — this class keeps the
+stdlib-compatible facade for in-process use.
+
+API fidelity matters because callers are written against the stdlib
+contract: ``PoolResult.get(timeout=...)`` raises
+:class:`multiprocessing.TimeoutError`, ``successful()`` raises
+:class:`ValueError` before the result is ready, and ``close()`` stops
+intake while letting already-queued work finish.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import queue
 import threading
 from typing import Any, Callable, Iterable, List, Optional
 
@@ -34,12 +46,17 @@ class PoolResult:
 
     def successful(self) -> bool:
         if not self.ready():
-            raise StateError("result not ready")
+            raise ValueError("result is not ready")
         return self._error is None
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        self._event.wait(timeout=timeout)
 
     def get(self, timeout: Optional[float] = None) -> Any:
         if not self._event.wait(timeout=timeout):
-            raise StateError("timed out waiting for pool result")
+            raise multiprocessing.TimeoutError(
+                "timed out waiting for pool result"
+            )
         if self._error is not None:
             raise self._error
         return self._value
@@ -51,39 +68,69 @@ class SimplePool:
     def __init__(self, processes: int = 4):
         if processes < 1:
             raise StateError("pool needs at least one worker")
-        self._semaphore = threading.Semaphore(processes)
-        self._threads: List[threading.Thread] = []
+        self.processes = processes
+        self._tasks: "queue.Queue" = queue.Queue()
         self._closed = False
         self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                name=f"simplepool-worker-{index}",
+                daemon=True,
+            )
+            for index in range(processes)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _worker(self) -> None:
+        while True:
+            item = self._tasks.get()
+            if item is None:
+                return
+            func, args, kwds, result = item
+            try:
+                result._complete(value=func(*args, **kwds))
+            except BaseException as exc:  # propagate to .get()
+                result._complete(error=exc)
 
     def apply_async(
         self, func: Callable, args: tuple = (), kwds: Optional[dict] = None
     ) -> PoolResult:
+        result = PoolResult()
+        # The unbounded queue's put() never blocks, so enqueueing under
+        # the lock is safe and makes close() race-free: after close()
+        # wins the lock, no new task can slip in behind the sentinels.
         with self._lock:
             if self._closed:
                 raise StateError("pool is closed")
-            result = PoolResult()
-
-            def runner():
-                with self._semaphore:
-                    try:
-                        result._complete(value=func(*args, **(kwds or {})))
-                    except BaseException as exc:  # propagate to .get()
-                        result._complete(error=exc)
-
-            thread = threading.Thread(target=runner, daemon=True)
-            self._threads.append(thread)
-            thread.start()
-            return result
+            self._tasks.put((func, args, kwds or {}, result))
+        return result
 
     def map(self, func: Callable, iterable: Iterable) -> List[Any]:
-        """Apply ``func`` to every item, preserving order."""
+        """Apply ``func`` to every item, preserving order.
+
+        Waits for *every* submitted item before raising, so an early
+        failure cannot orphan still-queued work; the first error (in
+        input order) is then re-raised, matching ``Pool.map``.
+        """
         handles = [self.apply_async(func, (item,)) for item in iterable]
+        for handle in handles:
+            handle.wait()
         return [handle.get() for handle in handles]
 
     def close(self) -> None:
+        """Stop accepting new work; queued work still runs.
+
+        One exit sentinel per worker is queued *behind* the pending
+        tasks, so workers drain the queue before exiting.
+        """
         with self._lock:
+            if self._closed:
+                return
             self._closed = True
+            for _ in self._threads:
+                self._tasks.put(None)
 
     def join(self) -> None:
         if not self._closed:

@@ -1,0 +1,566 @@
+"""Process-parallel sharded execution — the real multiprocessing substrate.
+
+The paper offers the Python multiprocessing library as the lighter-weight
+alternative to Celery for driving gem5art's 480-run boot-test cross
+product.  A thread pool cannot deliver that promise for a GIL-bound
+pure-Python simulator: every "parallel" run serializes on the interpreter
+lock.  :class:`ProcessPool` shards a batch of jobs across real OS
+processes instead:
+
+- jobs travel as **pickle-safe** :class:`JobEnvelope` s — a dotted-path
+  target (importable under the ``spawn`` start method) plus plain-data
+  arguments, typically built from a content-addressed
+  :class:`~repro.art.spec.RunSpec` document;
+- each worker process executes one envelope at a time and ships the
+  outcome back over a result queue;
+- worker *crash* detection reuses the scheduler's lease machinery
+  (:mod:`repro.scheduler.lease`): the parent heartbeats leases only for
+  workers it can still see alive, so a SIGKILLed worker's lease expires
+  and the job is **redelivered** to a respawned worker — bounded by a
+  redelivery budget, exactly like the thread scheduler's reaper;
+- per-process telemetry buffers (metrics + events recorded inside the
+  worker) are merged into the parent's session when results drain.
+
+The pool deliberately stays below the broker: single-flight dedup and the
+result cache keep living in the parent (:class:`SchedulerApp` /
+:mod:`repro.art.cache`); only leader executions ship to workers.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import queue
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import chaos
+from repro.common.errors import StateError, ValidationError
+from repro.common.ids import new_uuid
+from repro.scheduler.lease import LeaseManager
+from repro.telemetry import (
+    get_event_log,
+    get_metrics,
+    merge_worker_telemetry,
+)
+
+#: Default time a worker process may go silent before its job is
+#: reclaimed.  Processes heartbeat via the parent's monitor (the parent
+#: renews leases for workers it can observe alive), so the TTL only has
+#: to cover one monitor interval plus scheduling noise.
+DEFAULT_PROC_LEASE_TTL = 2.0
+
+#: Extra deliveries a job may receive after worker crashes before it is
+#: failed outright (the first delivery is not a *re*-delivery).
+DEFAULT_MAX_REDELIVERIES = 3
+
+_MONITOR_INTERVAL = 0.05
+_RESULT_POLL = 0.1
+
+
+class WorkerJobError(StateError):
+    """A job failed in (or was lost with) its worker process."""
+
+
+@dataclass(frozen=True)
+class JobEnvelope:
+    """A pickle-safe description of one unit of work.
+
+    ``target`` is a ``"package.module:function"`` dotted path resolved
+    *inside* the worker process — the function object itself never
+    crosses the process boundary, which is what makes the envelope safe
+    under the ``spawn`` start method (no inherited state, no closures).
+    ``args``/``kwargs`` must be plain picklable data; for gem5art runs
+    they carry the run's :class:`~repro.art.spec.RunSpec` document plus
+    the artifact payloads the simulation needs (see
+    :mod:`repro.art.procjobs`).
+
+    ``fingerprint`` is carried for observability only: dedup decisions
+    happen in the parent broker before an envelope is ever built.
+    """
+
+    target: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    task_id: str = field(default_factory=new_uuid)
+    fingerprint: str = ""
+    telemetry: bool = False
+
+    def __post_init__(self):
+        if ":" not in self.target:
+            raise ValidationError(
+                f"envelope target {self.target!r} must be a "
+                "'package.module:function' dotted path"
+            )
+
+
+class ProcJobHandle:
+    """Parent-side handle for one submitted envelope."""
+
+    def __init__(self, envelope: JobEnvelope):
+        self.envelope = envelope
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[str] = None
+        self.host_seconds: float = 0.0
+        self.worker: Optional[str] = None
+
+    @property
+    def task_id(self) -> str:
+        return self.envelope.task_id
+
+    def _complete(
+        self,
+        value: Any = None,
+        error: Optional[str] = None,
+        host_seconds: float = 0.0,
+        worker: Optional[str] = None,
+    ) -> None:
+        if self._event.is_set():
+            return  # late result for an already-failed/abandoned job
+        self._value = value
+        self._error = error
+        self.host_seconds = host_seconds
+        self.worker = worker
+        self._event.set()
+
+    def ready(self) -> bool:
+        return self._event.is_set()
+
+    def successful(self) -> bool:
+        if not self.ready():
+            raise ValueError("job result is not ready")
+        return self._error is None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout=timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._event.wait(timeout=timeout):
+            raise multiprocessing.TimeoutError(
+                f"job {self.task_id} did not finish in time"
+            )
+        if self._error is not None:
+            raise WorkerJobError(self._error)
+        return self._value
+
+
+class _JobRecord:
+    """Mutable parent-side state for one envelope (duck-types the
+    ``task_id``/``deliveries`` surface :class:`LeaseManager` expects)."""
+
+    def __init__(self, envelope: JobEnvelope, handle: ProcJobHandle):
+        self.envelope = envelope
+        self.handle = handle
+        self.deliveries = 0
+
+    @property
+    def task_id(self) -> str:
+        return self.envelope.task_id
+
+
+def _resolve_target(spec: str) -> Callable:
+    """Import ``"package.module:qualname"`` inside the worker."""
+    module_name, _, qualname = spec.partition(":")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _worker_main(worker: str, inbox, outbox) -> None:
+    """Worker-process loop: execute envelopes until the ``None`` sentinel.
+
+    Runs in a freshly spawned interpreter; everything it needs arrives
+    through the envelope.  Telemetry, when requested, is recorded in a
+    private per-process session and shipped back inside the result so
+    the parent can merge it — worker and parent never share a registry.
+    """
+    from repro import telemetry as _telemetry
+
+    while True:
+        envelope = inbox.get()
+        if envelope is None:
+            return
+        started = time.monotonic()
+        result: Dict[str, Any] = {
+            "task_id": envelope.task_id,
+            "worker": worker,
+            "pid": os.getpid(),
+            "ok": False,
+            "value": None,
+            "error": None,
+            "telemetry": None,
+        }
+        session = _telemetry.enable() if envelope.telemetry else None
+        try:
+            target = _resolve_target(envelope.target)
+            result["value"] = target(*envelope.args, **envelope.kwargs)
+            result["ok"] = True
+        except Exception:
+            result["error"] = traceback.format_exc()
+        finally:
+            if session is not None:
+                result["telemetry"] = {
+                    "metrics": session.metrics.collect(),
+                    "events": session.events.records(),
+                }
+                _telemetry.disable()
+        result["host_seconds"] = time.monotonic() - started
+        outbox.put(result)
+
+
+class _WorkerSlot:
+    """One worker seat: the live process, its private inbox, and the
+    job currently assigned to it (at most one at a time, which is what
+    makes crash attribution exact)."""
+
+    def __init__(self, name: str, process, inbox):
+        self.name = name
+        self.process = process
+        self.inbox = inbox
+        self.current: Optional[_JobRecord] = None
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ProcessPool:
+    """A spawn-safe multiprocessing executor with lease-backed recovery.
+
+    The API is deliberately envelope-shaped rather than function-shaped:
+    callers describe work as data (:class:`JobEnvelope`), which is what
+    guarantees the pool never depends on forked parent state.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        lease_ttl: float = DEFAULT_PROC_LEASE_TTL,
+        max_redeliveries: int = DEFAULT_MAX_REDELIVERIES,
+        start_method: str = "spawn",
+    ):
+        if workers < 1:
+            raise ValidationError("process pool needs at least one worker")
+        if max_redeliveries < 0:
+            raise ValidationError("max_redeliveries must be >= 0")
+        self.worker_count = workers
+        self.max_redeliveries = max_redeliveries
+        self._context = multiprocessing.get_context(start_method)
+        self._leases = LeaseManager(ttl=lease_ttl)
+        self._results = self._context.Queue()
+        # One condition guards pending/inflight/slot state; blocking
+        # queue operations always happen outside it.
+        self._state = threading.Condition()
+        self._pending: "deque[_JobRecord]" = deque()
+        self._inflight: Dict[str, _JobRecord] = {}
+        self._slots: List[_WorkerSlot] = []
+        self._closed = False
+        self._stop = threading.Event()
+        self._started = False
+        self._monitor: Optional[threading.Thread] = None
+        self._collector: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------- submit
+
+    def submit(self, envelope: JobEnvelope) -> ProcJobHandle:
+        """Queue an envelope; returns its handle immediately."""
+        chaos.fire(
+            "procpool.submit",
+            task_id=envelope.task_id,
+            target=envelope.target,
+        )
+        handle = ProcJobHandle(envelope)
+        record = _JobRecord(envelope, handle)
+        with self._state:
+            if self._closed:
+                raise StateError("process pool is closed")
+            self._pending.append(record)
+            self._state.notify_all()
+        get_metrics().counter(
+            "procpool_jobs_submitted_total",
+            "Envelopes handed to the process pool",
+        ).inc()
+        self._ensure_started()
+        return handle
+
+    def map_envelopes(
+        self,
+        envelopes: List[JobEnvelope],
+        timeout: Optional[float] = None,
+    ) -> List[Any]:
+        """Submit every envelope and return results in input order."""
+        handles = [self.submit(envelope) for envelope in envelopes]
+        return [handle.result(timeout=timeout) for handle in handles]
+
+    # ------------------------------------------------------------ workers
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live worker processes (for chaos tests)."""
+        with self._state:
+            return [
+                slot.process.pid
+                for slot in self._slots
+                if slot.alive() and slot.process.pid is not None
+            ]
+
+    def _ensure_started(self) -> None:
+        with self._state:
+            if self._started:
+                return
+            self._started = True
+            for index in range(self.worker_count):
+                self._slots.append(self._spawn_slot(index))
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="procpool-monitor", daemon=True
+        )
+        self._collector = threading.Thread(
+            target=self._collector_loop,
+            name="procpool-collector",
+            daemon=True,
+        )
+        self._monitor.start()
+        self._collector.start()
+
+    def _spawn_slot(self, index: int) -> _WorkerSlot:
+        name = f"procpool-worker-{index}"
+        inbox = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(name, inbox, self._results),
+            name=name,
+            daemon=True,
+        )
+        process.start()
+        return _WorkerSlot(name, process, inbox)
+
+    # ------------------------------------------------------------ monitor
+
+    def _monitor_loop(self) -> None:
+        """Dispatch, heartbeat, crash-detect, and redeliver — one loop.
+
+        Heartbeats are issued *on behalf of* workers the parent can see
+        alive; a killed worker stops earning them, its lease expires,
+        and the expiry path below redelivers or dead-letters the job —
+        the same contract the thread scheduler's reaper enforces.
+        """
+        while not self._stop.is_set():
+            self._assign_pending()
+            for task_id in self._observed_live_jobs():
+                self._leases.heartbeat(task_id)
+            self._recover_lost_workers()
+            self._reap_expired()
+            with self._state:
+                self._state.wait(timeout=_MONITOR_INTERVAL)
+
+    def _assign_pending(self) -> None:
+        """Hand queued jobs to idle live workers (one each)."""
+        assignments: List[Tuple[_WorkerSlot, _JobRecord]] = []
+        with self._state:
+            for slot in self._slots:
+                if not self._pending:
+                    break
+                if slot.current is not None or not slot.alive():
+                    continue
+                record = self._pending.popleft()
+                slot.current = record
+                self._inflight[record.task_id] = record
+                assignments.append((slot, record))
+        for slot, record in assignments:
+            self._leases.acquire(record, slot.name)
+            record.handle.worker = slot.name
+            get_event_log().emit(
+                "procpool.dispatch",
+                task_id=record.task_id,
+                worker=slot.name,
+                delivery=record.deliveries,
+            )
+            slot.inbox.put(record.envelope)
+
+    def _observed_live_jobs(self) -> List[str]:
+        """Task ids whose assigned worker the parent can still see."""
+        with self._state:
+            return [
+                slot.current.task_id
+                for slot in self._slots
+                if slot.current is not None and slot.alive()
+            ]
+
+    def _recover_lost_workers(self) -> None:
+        """Respawn dead workers; their in-flight jobs stay leased and
+        are reclaimed by lease expiry, not by this path — one recovery
+        mechanism, not two racing ones."""
+        lost: List[Tuple[int, _WorkerSlot]] = []
+        with self._state:
+            if self._stop.is_set():
+                return
+            for index, slot in enumerate(self._slots):
+                if slot.alive():
+                    continue
+                lost.append((index, slot))
+        for index, slot in lost:
+            replacement = self._spawn_slot(index)
+            with self._state:
+                replacement.current = None
+                self._slots[index] = replacement
+            get_metrics().counter(
+                "procpool_workers_lost_total",
+                "Worker processes that died and were respawned",
+            ).inc()
+            get_event_log().emit(
+                "procpool.worker_lost",
+                worker=slot.name,
+                pid=slot.process.pid,
+                task_id=(
+                    slot.current.task_id
+                    if slot.current is not None
+                    else None
+                ),
+            )
+
+    def _reap_expired(self) -> None:
+        """Redeliver (or fail) jobs whose lease expired with the worker."""
+        for lease in self._leases.expired():
+            record = lease.message
+            with self._state:
+                self._inflight.pop(record.task_id, None)
+                for slot in self._slots:
+                    if slot.current is record:
+                        slot.current = None
+            if record.handle.ready():
+                continue  # raced with a late result
+            if record.deliveries > self.max_redeliveries:
+                error = (
+                    f"job {record.task_id} lost with worker "
+                    f"{lease.worker} after {record.deliveries} "
+                    "deliveries (redelivery budget exhausted)"
+                )
+                get_event_log().emit(
+                    "procpool.dead_letter",
+                    task_id=record.task_id,
+                    deliveries=record.deliveries,
+                )
+                get_metrics().counter(
+                    "procpool_jobs_total", "Jobs by terminal outcome"
+                ).inc(outcome="lost")
+                record.handle._complete(error=error, worker=lease.worker)
+                with self._state:
+                    self._state.notify_all()
+                continue
+            get_metrics().counter(
+                "procpool_redeliveries_total",
+                "Jobs redelivered after a worker crash",
+            ).inc()
+            get_event_log().emit(
+                "procpool.redelivered",
+                task_id=record.task_id,
+                worker=lease.worker,
+                delivery=record.deliveries,
+            )
+            with self._state:
+                self._pending.appendleft(record)
+                self._state.notify_all()
+
+    # ---------------------------------------------------------- collector
+
+    def _collector_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                result = self._results.get(timeout=_RESULT_POLL)
+            except queue.Empty:
+                continue
+            self._absorb_result(result)
+
+    def _absorb_result(self, result: Dict[str, Any]) -> None:
+        task_id = result["task_id"]
+        self._leases.release(task_id)
+        with self._state:
+            record = self._inflight.pop(task_id, None)
+            for slot in self._slots:
+                if (
+                    slot.current is not None
+                    and slot.current.task_id == task_id
+                ):
+                    slot.current = None
+            self._state.notify_all()
+        buffer = result.get("telemetry")
+        if buffer:
+            merge_worker_telemetry(buffer, worker=result["worker"])
+        outcome = "ok" if result["ok"] else "error"
+        get_metrics().counter(
+            "procpool_jobs_total", "Jobs by terminal outcome"
+        ).inc(outcome=outcome)
+        get_event_log().emit(
+            "procpool.result",
+            task_id=task_id,
+            worker=result["worker"],
+            ok=result["ok"],
+        )
+        if record is None:
+            return  # job already reaped (late result after redelivery)
+        record.handle._complete(
+            value=result["value"],
+            error=result["error"],
+            host_seconds=result.get("host_seconds", 0.0),
+            worker=result["worker"],
+        )
+
+    # ----------------------------------------------------------- shutdown
+
+    def close(self) -> None:
+        """Stop accepting new envelopes; queued work still runs."""
+        with self._state:
+            self._closed = True
+
+    def join(self, timeout: float = 60.0) -> None:
+        """Block until every submitted envelope has a terminal outcome."""
+        if not self._closed:
+            raise StateError("join() requires close() first")
+        with self._state:
+            if not self._state.wait_for(
+                lambda: not self._pending and not self._inflight,
+                timeout=timeout,
+            ):
+                raise StateError(
+                    "process pool did not drain in time: "
+                    f"{len(self._pending)} pending, "
+                    f"{len(self._inflight)} in flight"
+                )
+
+    def shutdown(self) -> None:
+        """Terminate workers and parent-side service threads."""
+        self._stop.set()
+        with self._state:
+            self._closed = True
+            slots = list(self._slots)
+        for slot in slots:
+            if slot.alive():
+                slot.inbox.put(None)
+        for thread in (self._monitor, self._collector):
+            if thread is not None:
+                thread.join(timeout=2.0)
+        for slot in slots:
+            slot.process.join(timeout=2.0)
+            if slot.alive():
+                slot.process.kill()
+                slot.process.join(timeout=2.0)
+        self._results.cancel_join_thread()
+        with self._state:
+            self._slots.clear()
+            self._started = False
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            if exc_info[0] is None:
+                self.close()
+                self.join()
+        finally:
+            self.shutdown()

@@ -51,6 +51,7 @@ from repro.telemetry.metrics import (
 from repro.telemetry.recorder import (
     TELEMETRY,
     archive_telemetry,
+    merge_worker_telemetry,
     rehydrate_telemetry,
     snapshot,
     telemetry_owners,
@@ -181,6 +182,7 @@ __all__ = [
     # recorder
     "snapshot",
     "archive_telemetry",
+    "merge_worker_telemetry",
     "rehydrate_telemetry",
     "telemetry_owners",
     "TELEMETRY",

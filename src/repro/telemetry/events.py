@@ -41,6 +41,30 @@ class EventLog:
             self._events.append(event)
         return event
 
+    def absorb(
+        self, records: List[Dict[str, Any]], **extra: Any
+    ) -> List[Dict[str, Any]]:
+        """Append events recorded elsewhere (a worker process's log).
+
+        The incoming records keep their own wall/mono timestamps and
+        thread names — those describe where the event actually happened
+        — but are re-sequenced into this log's total order.  ``extra``
+        attributes (e.g. ``worker="procpool-worker-2"``) are stamped
+        onto every absorbed event for attribution.
+        """
+        absorbed = []
+        with self._lock:
+            for record in records:
+                self._sequence += 1
+                event = dict(record)
+                event["seq"] = self._sequence
+                attributes = dict(record.get("attributes", {}))
+                attributes.update(extra)
+                event["attributes"] = attributes
+                self._events.append(event)
+                absorbed.append(dict(event))
+        return absorbed
+
     def records(
         self, kind: Optional[str] = None
     ) -> List[Dict[str, Any]]:
@@ -61,6 +85,11 @@ class NullEventLog:
 
     def emit(self, kind: str, **attributes: Any) -> None:
         return None
+
+    def absorb(
+        self, records: List[Dict[str, Any]], **extra: Any
+    ) -> List[Dict[str, Any]]:
+        return []
 
     def records(
         self, kind: Optional[str] = None

@@ -168,6 +168,37 @@ class Histogram:
                 )
             return out
 
+    def absorb_sample(self, sample: Dict[str, Any]) -> None:
+        """Fold one exported sample (cumulative buckets) into this
+        histogram — the merge path for worker-process snapshots."""
+        bounds = [b for b in sample["buckets"] if b != "+Inf"]
+        if tuple(float(b) for b in bounds) != self.buckets:
+            raise ValidationError(
+                f"histogram {self.name!r}: cannot merge sample with "
+                f"buckets {bounds} into {list(self.buckets)}"
+            )
+        raw = []
+        previous = 0
+        for bound in bounds:
+            cumulative = sample["buckets"][bound]
+            raw.append(cumulative - previous)
+            previous = cumulative
+        raw.append(sample["count"] - previous)
+        key = _label_key(sample["labels"])
+        with self._lock:
+            series = self._series.setdefault(
+                key,
+                {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                },
+            )
+            for index, count in enumerate(raw):
+                series["counts"][index] += count
+            series["sum"] += float(sample["sum"])
+            series["count"] += int(sample["count"])
+
 
 class MetricsRegistry:
     """Get-or-create home of every instrument; the unit of export."""
@@ -223,6 +254,45 @@ class MetricsRegistry:
             for name, instrument in instruments
         ]
 
+    def merge(self, collected: List[Dict[str, Any]]) -> None:
+        """Fold a ``collect()``-shaped snapshot from another registry
+        (typically a worker process's private session) into this one.
+
+        Counters and histogram observations add; gauges take the
+        incoming value (last writer wins, matching their semantics).
+        """
+        for metric in collected:
+            name = metric["name"]
+            kind = metric["kind"]
+            help_text = metric.get("help", "")
+            samples = metric.get("samples", [])
+            if kind == "counter":
+                instrument = self.counter(name, help_text)
+                for sample in samples:
+                    instrument.inc(sample["value"], **sample["labels"])
+            elif kind == "gauge":
+                instrument = self.gauge(name, help_text)
+                for sample in samples:
+                    instrument.set(sample["value"], **sample["labels"])
+            elif kind == "histogram":
+                if not samples:
+                    continue
+                bounds = tuple(
+                    float(b)
+                    for b in samples[0]["buckets"]
+                    if b != "+Inf"
+                )
+                instrument = self.histogram(
+                    name, help_text, buckets=bounds
+                )
+                for sample in samples:
+                    instrument.absorb_sample(sample)
+            else:
+                raise ValidationError(
+                    f"cannot merge metric {name!r} of unknown "
+                    f"kind {kind!r}"
+                )
+
 
 class _NullInstrument:
     """Absorbs every instrument method; the disabled-telemetry fast path."""
@@ -270,6 +340,9 @@ class NullMetrics:
 
     def collect(self) -> List[Dict[str, Any]]:
         return []
+
+    def merge(self, collected: List[Dict[str, Any]]) -> None:
+        pass
 
 
 NULL_METRICS = NullMetrics()

@@ -88,6 +88,29 @@ def rehydrate_telemetry(db, owner_id: str) -> Dict[str, Any]:
     return data
 
 
+def merge_worker_telemetry(
+    buffer: Optional[Dict[str, Any]],
+    worker: Optional[str] = None,
+) -> None:
+    """Fold a worker process's telemetry buffer into the live session.
+
+    ``buffer`` is the ``{"metrics": ..., "events": ...}`` dict a process
+    pool worker records in its private session and ships back inside its
+    result (processes share no registries with the parent, so merging on
+    drain is the only way their observations reach the archived
+    snapshot).  No-op when the buffer is empty or telemetry is disabled
+    in the parent — the null twins absorb the calls.
+    """
+    if not buffer:
+        return
+    # Imported lazily: the package __init__ imports this module.
+    from repro import telemetry
+
+    telemetry.get_metrics().merge(buffer.get("metrics") or [])
+    extra = {} if worker is None else {"worker": worker}
+    telemetry.get_event_log().absorb(buffer.get("events") or [], **extra)
+
+
 def telemetry_owners(db, kind: Optional[str] = None) -> List[str]:
     """Owner ids with archived telemetry (optionally by kind)."""
     query = {} if kind is None else {"kind": kind}

@@ -215,3 +215,46 @@ def test_run_unknown_kind_rejected(db, fs_artifacts):
     run.kind = "quantum"
     with pytest.raises(ValidationError):
         run.run()
+
+
+def test_scheduler_processes_substrate_executes_runs(db, fs_artifacts):
+    runs = [
+        make_run(db, fs_artifacts, num_cpus=n) for n in (1, 2, 4)
+    ]
+    summaries = run_jobs_scheduler(
+        runs, worker_count=2, substrate="processes"
+    )
+    assert [run.status for run in runs] == [RunStatus.DONE] * 3
+    for summary in summaries:
+        assert summary["stats_file_id"]
+        assert summary["stats_fingerprint"]
+        # The worker's stats crossed the process boundary intact: the
+        # blob the parent archived hashes to the worker's fingerprint.
+        blob = db.download_file(summary["stats_file_id"])
+        from repro.common.hashing import sha256_bytes
+
+        assert sha256_bytes(blob) == summary["stats_fingerprint"]
+
+
+def test_scheduler_processes_substrate_coalesces_identical_runs(
+    db, fs_artifacts
+):
+    runs = [make_run(db, fs_artifacts) for _ in range(3)]
+    assert len({run.fingerprint for run in runs}) == 1
+    summaries = run_jobs_scheduler(
+        runs, worker_count=2, substrate="processes"
+    )
+    assert [run.status for run in runs] == [RunStatus.DONE] * 3
+    assert all(s.get("simulation_status") == "ok" for s in summaries)
+    # Followers adopted the leader's archived result.
+    adopted = [
+        db.get_run(run.run_id).get("cache_hit") for run in runs
+    ]
+    assert adopted.count(True) >= 1
+
+
+def test_unknown_substrate_rejected(db, fs_artifacts):
+    with pytest.raises(ValidationError):
+        run_jobs_scheduler(
+            [make_run(db, fs_artifacts)], substrate="fibers"
+        )

@@ -161,3 +161,22 @@ def test_many_jobs_across_machines():
     ]
     machines_used = {job.machine for job in jobs}
     assert machines_used <= {"a", "b"}
+
+
+def test_negotiate_reaps_finished_executor_threads():
+    """A long-lived batch system must not accumulate one dead Thread
+    object per job ever run: each negotiation pass prunes the dead."""
+    pool = make_pool(Machine("node0", slots=2))
+    jobs = [
+        pool.submit(JobDescription(executable=lambda i=i: i))
+        for i in range(30)
+    ]
+    assert [job.get(timeout=10) for job in jobs] == list(range(30))
+    # One more submission triggers a negotiation pass now that every
+    # executor thread above is finished.
+    final = pool.submit(JobDescription(executable=lambda: "done"))
+    assert final.get(timeout=10) == "done"
+    pool.wait_all(timeout=10)
+    pool._negotiate()
+    with pool._lock:
+        assert len(pool._threads) <= 2

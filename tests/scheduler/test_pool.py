@@ -1,5 +1,7 @@
 """Tests for the multiprocessing-style SimplePool."""
 
+import multiprocessing
+import threading
 import time
 
 import pytest
@@ -37,10 +39,11 @@ def test_error_propagates():
 
 
 def test_successful_before_ready_raises():
+    # multiprocessing.Pool raises ValueError here, and so must we.
     pool = SimplePool(processes=1)
     gate_result = pool.apply_async(time.sleep, (0.2,))
     if not gate_result.ready():
-        with pytest.raises(StateError):
+        with pytest.raises(ValueError):
             gate_result.successful()
     pool.close()
     pool.join()
@@ -65,7 +68,6 @@ def test_join_requires_close():
 def test_concurrency_bounded():
     active = []
     peak = []
-    import threading
 
     lock = threading.Lock()
 
@@ -88,8 +90,73 @@ def test_pool_requires_workers():
 
 
 def test_get_timeout():
+    # multiprocessing.Pool raises multiprocessing.TimeoutError (which is
+    # NOT a subclass of TimeoutError pre-3.8 semantics callers match on).
     with SimplePool(processes=1) as pool:
         result = pool.apply_async(time.sleep, (1.0,))
-        with pytest.raises(StateError):
+        with pytest.raises(multiprocessing.TimeoutError):
             result.get(timeout=0.05)
         result.get(timeout=5)
+
+
+def test_burst_does_not_spawn_thread_per_task():
+    """A 100-job burst must run on the fixed worker set — the old
+    implementation spawned one OS thread per submission."""
+    baseline = threading.active_count()
+    release = threading.Event()
+
+    def job(_):
+        release.wait(timeout=5)
+        return 1
+
+    pool = SimplePool(processes=4)
+    handles = [pool.apply_async(job, (i,)) for i in range(100)]
+    # All 100 jobs are queued or running right now; thread count must be
+    # bounded by the pool size plus a small constant, not by job count.
+    assert threading.active_count() <= baseline + 4 + 2
+    release.set()
+    assert all(h.get(timeout=10) == 1 for h in handles)
+    pool.close()
+    pool.join()
+    assert len(pool._threads) == 4
+
+
+def test_close_lets_queued_work_finish():
+    """close() stops intake but already-queued tasks still execute."""
+    done = []
+    gate = threading.Event()
+
+    def slow(i):
+        gate.wait(timeout=5)
+        done.append(i)
+        return i
+
+    pool = SimplePool(processes=1)
+    handles = [pool.apply_async(slow, (i,)) for i in range(5)]
+    pool.close()
+    with pytest.raises(StateError):
+        pool.apply_async(slow, (99,))
+    gate.set()
+    pool.join()
+    assert sorted(done) == [0, 1, 2, 3, 4]
+    assert [h.get(timeout=1) for h in handles] == [0, 1, 2, 3, 4]
+
+
+def test_map_early_failure_does_not_orphan_work():
+    """map() waits for every item before raising the first error, so a
+    failing early item cannot leave later items unobserved in flight."""
+    executed = []
+    lock = threading.Lock()
+
+    def sometimes_bad(i):
+        with lock:
+            executed.append(i)
+        if i == 0:
+            raise RuntimeError("first item fails")
+        return i
+
+    with SimplePool(processes=2) as pool:
+        with pytest.raises(RuntimeError):
+            pool.map(sometimes_bad, range(8))
+        # Every item ran to completion before map raised.
+        assert sorted(executed) == list(range(8))

@@ -1,0 +1,185 @@
+"""Tests for the multiprocessing-backed ProcessPool substrate.
+
+Job targets are referenced by dotted path and resolved inside freshly
+spawned workers, so every target used here is a real module-level
+function (stdlib ones where possible, :mod:`repro.sim.testing` hooks for
+simulation-shaped work).
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.common.errors import StateError, ValidationError
+from repro.scheduler.procpool import (
+    JobEnvelope,
+    ProcessPool,
+    WorkerJobError,
+)
+
+
+def test_envelope_requires_dotted_path_target():
+    with pytest.raises(ValidationError):
+        JobEnvelope(target="not_a_dotted_path")
+
+
+def test_pool_requires_workers():
+    with pytest.raises(ValidationError):
+        ProcessPool(workers=0)
+    with pytest.raises(ValidationError):
+        ProcessPool(workers=2, max_redeliveries=-1)
+
+
+def test_submit_and_result():
+    with ProcessPool(workers=2) as pool:
+        handle = pool.submit(
+            JobEnvelope(target="math:factorial", args=(5,))
+        )
+        assert handle.result(timeout=60) == 120
+        assert handle.ready()
+        assert handle.successful()
+        assert handle.worker is not None
+
+
+def test_map_envelopes_preserves_order():
+    envelopes = [
+        JobEnvelope(target="math:factorial", args=(n,)) for n in range(6)
+    ]
+    with ProcessPool(workers=3) as pool:
+        assert pool.map_envelopes(envelopes, timeout=60) == [
+            1, 1, 2, 6, 24, 120,
+        ]
+
+
+def test_worker_error_propagates_as_worker_job_error():
+    with ProcessPool(workers=1) as pool:
+        handle = pool.submit(
+            JobEnvelope(target="operator:truediv", args=(1, 0))
+        )
+        with pytest.raises(WorkerJobError) as excinfo:
+            handle.result(timeout=60)
+        assert "ZeroDivisionError" in str(excinfo.value)
+        assert handle.ready()
+        assert not handle.successful()
+
+
+def test_result_timeout_raises_multiprocessing_timeout():
+    with ProcessPool(workers=1) as pool:
+        handle = pool.submit(
+            JobEnvelope(target="time:sleep", args=(1.0,))
+        )
+        with pytest.raises(multiprocessing.TimeoutError):
+            handle.result(timeout=0.05)
+        assert handle.result(timeout=60) is None  # sleep returns None
+
+
+def test_successful_before_ready_raises_value_error():
+    with ProcessPool(workers=1) as pool:
+        handle = pool.submit(
+            JobEnvelope(target="time:sleep", args=(0.5,))
+        )
+        if not handle.ready():
+            with pytest.raises(ValueError):
+                handle.successful()
+        handle.result(timeout=60)
+
+
+def test_closed_pool_rejects_submission():
+    pool = ProcessPool(workers=1)
+    pool.close()
+    with pytest.raises(StateError):
+        pool.submit(JobEnvelope(target="math:factorial", args=(3,)))
+    pool.shutdown()
+
+
+def test_join_requires_close():
+    pool = ProcessPool(workers=1)
+    with pytest.raises(StateError):
+        pool.join()
+    pool.shutdown()
+
+
+def test_jobs_run_in_separate_processes():
+    with ProcessPool(workers=2) as pool:
+        handle = pool.submit(JobEnvelope(target="os:getpid"))
+        worker_pid = handle.result(timeout=60)
+        assert worker_pid != os.getpid()
+
+
+def test_boot_shard_job_runs_in_worker():
+    envelope = JobEnvelope(
+        target="repro.sim.testing:boot_shard_job",
+        args=({"index": 7, "repeats": 2},),
+    )
+    with ProcessPool(workers=1) as pool:
+        outcome = pool.submit(envelope).result(timeout=120)
+    assert outcome["index"] == 7
+    assert outcome["repeats"] == 2
+    assert outcome["stats_fingerprint"]
+    assert outcome["sim_seconds"] > 0
+
+
+def test_crashed_worker_job_is_redelivered():
+    """SIGKILL mid-job: the lease expires, a respawned worker gets the
+    job again, and the handle still resolves to a good result."""
+    sentinel = os.path.join(
+        os.environ.get("PYTEST_TMPDIR", "/tmp"),
+        f"procpool-redeliver-{os.getpid()}-{time.monotonic_ns()}",
+    )
+    envelope = JobEnvelope(
+        target="repro.sim.testing:kill_once_job",
+        args=({"index": 0, "repeats": 1, "sentinel": sentinel},),
+    )
+    try:
+        with ProcessPool(workers=1, lease_ttl=0.5) as pool:
+            outcome = pool.submit(envelope).result(timeout=120)
+        assert outcome["ok"]
+        assert os.path.exists(sentinel)  # first delivery really happened
+    finally:
+        if os.path.exists(sentinel):
+            os.unlink(sentinel)
+
+
+def test_redelivery_budget_dead_letters():
+    """A job that kills its worker on every delivery is eventually
+    failed instead of respawning workers forever."""
+    envelope = JobEnvelope(target="os:abort")
+    with ProcessPool(workers=1, lease_ttl=0.3, max_redeliveries=1) as pool:
+        handle = pool.submit(envelope)
+        with pytest.raises(WorkerJobError) as excinfo:
+            handle.result(timeout=60)
+    assert "redelivery budget" in str(excinfo.value)
+
+
+def test_worker_telemetry_merges_into_parent_session():
+    envelopes = [
+        JobEnvelope(
+            target="repro.sim.testing:telemetry_probe_job",
+            args=({"index": i, "amount": 2},),
+            telemetry=True,
+        )
+        for i in range(3)
+    ]
+    with telemetry.session() as active:
+        with ProcessPool(workers=2) as pool:
+            results = pool.map_envelopes(envelopes, timeout=120)
+        assert all(r["ok"] for r in results)
+        counter = active.metrics.counter("probe_total")
+        assert counter.value() == pytest.approx(6.0)
+        histogram = active.metrics.histogram("probe_seconds")
+        sample = histogram.samples()[0]
+        assert sample["count"] == 3
+        assert sample["sum"] == pytest.approx(6.0)
+        probe_events = active.events.records(kind="probe.ran")
+        assert len(probe_events) == 3
+        assert all(
+            e["attributes"]["worker"].startswith("procpool-worker-")
+            for e in probe_events
+        )
+        assert {e["attributes"]["index"] for e in probe_events} == {0, 1, 2}
+        # pool bookkeeping is visible too
+        dispatches = active.events.records(kind="procpool.dispatch")
+        assert len(dispatches) >= 3

@@ -1,0 +1,141 @@
+"""Microbenchmark: the storage engine's two headline numbers.
+
+Two measurements, one report:
+
+- **write throughput** — inserts/second into a file-backed database
+  under ``batch`` durability (the default), with a smaller ``strict``
+  sample showing what per-write fsync costs;
+- **indexed lookups** — equality ``find()`` served by a secondary
+  index vs the same query as a full collection scan, at ``--docs``
+  documents.  The ratio is the access-path claim in one number.
+
+Run as a script (it measures, it does not assert correctness):
+
+    PYTHONPATH=src python benchmarks/bench_db.py [--docs 100000]
+
+Writes ``BENCH_db.json`` next to the repo root and exits 1 if the
+indexed find is not at least ``MIN_INDEX_SPEEDUP``x faster per query
+than the scan.  ``--docs 1000000`` reproduces the million-document
+configuration from the paper-scale runs; CI uses the default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.db import Database
+
+#: A hash-bucket lookup vs an O(n) scan at 100k docs is ~1000x in
+#: practice; 10x is a floor that still fails loudly if find() quietly
+#: stops using the index.
+MIN_INDEX_SPEEDUP = 10.0
+
+WRITE_DOCS = 5_000
+STRICT_DOCS = 200
+SCAN_QUERIES = 20
+INDEX_QUERIES = 2_000
+
+
+def bench_writes(docs: int, durability: str) -> float:
+    """Insert ``docs`` documents into a fresh on-disk DB; return ops/s."""
+    root = tempfile.mkdtemp(prefix=f"bench-db-{durability}-")
+    try:
+        db = Database(
+            "bench", root=root, durability=durability,
+            engine_options={"auto_compact": False},
+        )
+        runs = db["runs"]
+        started = time.perf_counter()
+        for i in range(docs):
+            runs.insert_one(
+                {"_id": f"r{i}", "outcome": i % 7, "pad": "x" * 64}
+            )
+        elapsed = time.perf_counter() - started
+        db.close()
+        return docs / elapsed if elapsed > 0 else float("inf")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_finds(docs: int) -> dict:
+    """Equality find via secondary index vs full scan, per-query."""
+    db = Database("bench")  # in-memory: isolate access-path cost
+    runs = db["runs"]
+    buckets = max(docs // 10, 1)
+    for i in range(docs):
+        runs.insert_one({"_id": f"r{i}", "bucket": i % buckets})
+    query = {"bucket": 7 % buckets}
+    expected = len(runs.find(query))
+
+    started = time.perf_counter()
+    for _ in range(SCAN_QUERIES):
+        assert len(runs.find(query)) == expected
+    scan_per_query = (time.perf_counter() - started) / SCAN_QUERIES
+
+    runs.create_index("bucket")
+    started = time.perf_counter()
+    for _ in range(INDEX_QUERIES):
+        assert len(runs.find(query)) == expected
+    indexed_per_query = (time.perf_counter() - started) / INDEX_QUERIES
+
+    db.close()
+    speedup = (
+        scan_per_query / indexed_per_query
+        if indexed_per_query > 0
+        else float("inf")
+    )
+    return {
+        "docs": docs,
+        "scan_seconds_per_query": round(scan_per_query, 9),
+        "indexed_seconds_per_query": round(indexed_per_query, 9),
+        "index_speedup": round(speedup, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--docs", type=int, default=100_000,
+        help="collection size for the indexed-vs-scan comparison "
+        "(default 100000; 1000000 reproduces the paper-scale run)",
+    )
+    args = parser.parse_args(argv)
+
+    batch_ops = bench_writes(WRITE_DOCS, "batch")
+    strict_ops = bench_writes(STRICT_DOCS, "strict")
+    finds = bench_finds(args.docs)
+
+    report = {
+        "benchmark": "db",
+        "write_docs": WRITE_DOCS,
+        "batch_inserts_per_second": round(batch_ops, 1),
+        "strict_docs": STRICT_DOCS,
+        "strict_inserts_per_second": round(strict_ops, 1),
+        "min_index_speedup": MIN_INDEX_SPEEDUP,
+        **finds,
+    }
+    with open("BENCH_db.json", "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if finds["index_speedup"] < MIN_INDEX_SPEEDUP:
+        print(
+            f"FAIL: indexed find {finds['index_speedup']:.2f}x < "
+            f"{MIN_INDEX_SPEEDUP}x floor over full scan"
+        )
+        return 1
+    print(
+        f"OK: indexed find {finds['index_speedup']:.2f}x faster than "
+        f"scan at {finds['docs']} docs; batch writes "
+        f"{batch_ops:,.0f} ops/s, strict {strict_ops:,.0f} ops/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,12 @@ point                   fired
 ``task.execute``        on the worker thread, before a task attempt
 ``task.run``            on the task helper thread, inside the task body
 ``run.status``          before a run document status update
+``wal.append``          before a WAL record is written (crash here =
+                        write accepted but never logged, so never
+                        acknowledged)
+``segment.seal``        before the active WAL is renamed into a segment
+``compact.publish``     before a compacted segment is swapped into the
+                        manifest
 ======================  ====================================================
 
 Usage::

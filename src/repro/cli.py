@@ -12,7 +12,10 @@ experiments without writing a launch script:
   runs the database already marks done);
 - ``cache stats|ls|invalidate`` — inspect or evict the fingerprint result
   cache (``invalidate`` accepts a run fingerprint or an artifact content
-  hash; an artifact hash cascades to every dependent cached run).
+  hash; an artifact hash cascades to every dependent cached run);
+- ``db stats|compact|scrub|recover`` — storage-engine maintenance:
+  per-collection segment/WAL shape, forced segment compaction, blob
+  re-verification with quarantine, and a crash-recovery report.
 
 ``boot-tests`` and ``resume`` accept ``--cache``/``--no-cache`` to control
 whether runs may adopt memoized results instead of simulating.
@@ -143,6 +146,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(file:///dir for anything persistent)",
     )
 
+    dbcmd = commands.add_parser(
+        "db",
+        help="inspect or maintain the embedded storage engine",
+    )
+    dbcmd.add_argument(
+        "action", choices=("stats", "compact", "scrub", "recover"),
+        help="stats: collection/segment/blob shape; compact: merge "
+        "sealed segments and drop tombstones; scrub: re-verify blob "
+        "hashes and quarantine rot; recover: replay the WAL and "
+        "report what crash recovery found",
+    )
+    dbcmd.add_argument(
+        "--db", required=True, metavar="URI",
+        help="database URI (file:///dir[?durability=none|batch|strict])",
+    )
+
     lint = commands.add_parser(
         "lint",
         help="run the determinism/concurrency/hygiene analyzer "
@@ -205,6 +224,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "lint": _cmd_lint,
         "cache": _cmd_cache,
+        "db": _cmd_db,
     }[args.command]
     return handler(args)
 
@@ -609,6 +629,99 @@ def _cmd_cache(args) -> int:
     print(f"evicted {evicted} cache {noun}; "
           "dependent runs will re-execute on next launch")
     return 0
+
+
+def _cmd_db(args) -> int:
+    """Storage-engine maintenance: stats, compact, scrub, recover."""
+    from repro.common.errors import ReproError
+    from repro.db import connect
+
+    try:
+        db = connect(args.db)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    try:
+        if args.action == "stats":
+            stats = db.storage_stats()
+            table = TextTable(
+                ["Collection", "Docs", "Segments", "Seg bytes",
+                 "WAL bytes", "Indexes"],
+                title=f"STORAGE ENGINE ({stats['durability']})",
+            )
+            for name, entry in sorted(stats["collections"].items()):
+                indexes = ",".join(sorted(entry["indexes"])) or "-"
+                table.add_row(
+                    [
+                        name,
+                        str(entry["documents"]),
+                        str(entry.get("segments", 0)),
+                        str(entry.get("segment_bytes", 0)),
+                        str(entry.get("wal_bytes", 0)),
+                        indexes,
+                    ]
+                )
+            print(table.render())
+            files = stats.get("filestore")
+            if files is not None:
+                print(
+                    f"filestore: {files['blobs']} blobs, "
+                    f"{files['bytes']} bytes, {files['shards']} shards, "
+                    f"{files.get('quarantined', 0)} quarantined"
+                )
+            return 0
+        if args.action == "compact":
+            if db.root is None:
+                print("nothing to compact: in-memory database")
+                return 0
+            results = db.compact()
+            merged = 0
+            for name, result in sorted(results.items()):
+                if result["merged"]:
+                    merged += 1
+                    print(
+                        f"{name}: merged {result['merged']} segments "
+                        f"into {result['segment']}, reclaimed "
+                        f"{result['reclaimed_bytes']} bytes"
+                    )
+            if not merged:
+                print("nothing to compact: no collection has 2+ segments")
+            return 0
+        if args.action == "scrub":
+            report = db.files.scrub()
+            print(f"scanned      {report['scanned']}")
+            print(f"repaired     {len(report['repaired'])}")
+            print(f"quarantined  {len(report['quarantined'])}")
+            for digest in report["quarantined"]:
+                print(f"  quarantined {digest}")
+            return 1 if report["quarantined"] else 0
+        # recover: the replay already happened at connect(); report it.
+        report = db.recovery_report()
+        if not report:
+            print("no persisted collections to recover")
+            return 0
+        table = TextTable(
+            ["Collection", "Records", "Segments", "WAL records",
+             "Torn bytes"],
+            title="CRASH RECOVERY",
+        )
+        for name, entry in sorted(report.items()):
+            table.add_row(
+                [
+                    name,
+                    str(entry["records_replayed"]),
+                    str(entry["segments"]),
+                    str(entry["wal_records"]),
+                    str(entry["truncated_bytes"]),
+                ]
+            )
+        print(table.render())
+        torn = sum(e["truncated_bytes"] for e in report.values())
+        if torn:
+            print(f"truncated {torn} torn tail bytes; WAL is clean again")
+        return 0
+    finally:
+        db.close()
 
 
 def _cmd_lint(args) -> int:

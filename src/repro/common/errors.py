@@ -31,6 +31,14 @@ class CorruptBlobError(ReproError):
     was truncated, bit-flipped, or overwritten outside the store."""
 
 
+class CorruptRecordError(ReproError):
+    """A sealed storage-engine record failed its checksum or framing.
+
+    Torn tails on the *active* WAL are expected after a crash and are
+    truncated silently during recovery; damage inside a sealed segment
+    means fsynced bytes changed underneath the engine and is fatal."""
+
+
 class FaultInjectedError(ReproError):
     """An error deliberately raised by :mod:`repro.chaos` at an injection
     point.  Recovery code must treat it exactly like the organic failure it

@@ -5,14 +5,20 @@ and content hash) and stores the associated binary blobs in GridFS.  Neither
 is available offline, so this package provides behaviour-compatible
 replacements:
 
-- :class:`Collection` — documents with Mongo-style queries and unique indexes,
-- :class:`Database` — a set of named collections with JSON-lines persistence,
-- :class:`FileStore` — a content-addressed blob store (the GridFS stand-in),
-- :func:`connect` — URI-based entry point (``memory://`` or ``file:///path``).
+- :class:`Collection` — documents with Mongo-style queries, unique indexes
+  and non-unique secondary indexes,
+- :class:`Database` — a set of named collections persisted through the
+  embedded storage engine (:mod:`repro.db.engine`: write-ahead log,
+  sealed segments, background compaction, crash recovery),
+- :class:`FileStore` — a content-addressed blob store (the GridFS
+  stand-in) with hash-prefix sharding and scrub-and-quarantine repair,
+- :func:`connect` — URI-based entry point (``memory://`` or
+  ``file:///path?durability=none|batch|strict``).
 """
 
 from repro.db.query import matches, sort_documents, project
 from repro.db.collection import Collection
+from repro.db.engine import DURABILITY_MODES, StorageEngine
 from repro.db.database import Database
 from repro.db.filestore import FileStore
 from repro.db.client import connect
@@ -23,6 +29,8 @@ __all__ = [
     "project",
     "Collection",
     "Database",
+    "DURABILITY_MODES",
+    "StorageEngine",
     "FileStore",
     "connect",
 ]

@@ -5,15 +5,24 @@ gem5art connects to its database with a URI such as
 backends available offline:
 
 - ``memory://`` — an ephemeral in-memory database,
-- ``file:///some/dir`` — a database persisted as JSON-lines + blob files.
+- ``file:///some/dir`` — a database persisted through the storage engine
+  (WAL + segments) with blobs in a sharded FileStore.
+
+A ``file://`` URI accepts a ``durability`` query parameter selecting how
+eagerly acknowledged writes are fsynced::
+
+    connect("file:///var/lib/repro?durability=strict")
+
+with ``none``, ``batch`` (default) or ``strict`` as values.
 """
 
 from __future__ import annotations
 
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
 from repro.common.errors import ValidationError
 from repro.db.database import Database
+from repro.db.engine import DURABILITY_MODES
 
 
 def connect(uri: str = "memory://", name: str = "artifact_database") -> Database:
@@ -30,7 +39,19 @@ def connect(uri: str = "memory://", name: str = "artifact_database") -> Database
         path = parsed.path
         if not path:
             raise ValidationError(f"file:// URI needs a path: {uri!r}")
-        return Database(name=name, root=path)
+        durability = "batch"
+        for key, values in parse_qs(parsed.query).items():
+            if key != "durability":
+                raise ValidationError(
+                    f"unknown database URI parameter {key!r}"
+                )
+            durability = values[-1]
+            if durability not in DURABILITY_MODES:
+                raise ValidationError(
+                    f"unknown durability {durability!r}; "
+                    f"one of {DURABILITY_MODES}"
+                )
+        return Database(name=name, root=path, durability=durability)
     raise ValidationError(
         f"unsupported database URI scheme {parsed.scheme!r}; "
         "use memory:// or file:///path"

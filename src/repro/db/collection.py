@@ -5,13 +5,39 @@ protection via unique indexes, querying with the operator language from
 :mod:`repro.db.query`, field updates, and deletion.  Documents are plain
 dicts; a copy is stored and copies are returned so callers can never mutate
 the database behind its back.
+
+Two kinds of indexes serve ``find()`` without scanning:
+
+- **unique** (:meth:`Collection.create_unique_index`) — field → doc id,
+  doubling as the uniqueness constraint;
+- **secondary non-unique** (:meth:`Collection.create_index`) — field →
+  set of doc ids, multikey over list values (each element is indexed, as
+  in Mongo), serving equality and scalar ``$in`` fast paths.
+
+When the collection is bound to a durable store (a file-backed database),
+every acknowledged mutation is appended to the write-ahead log *before*
+it is applied in memory — if logging fails, the caller sees the error and
+the collection is unchanged, so memory never runs ahead of disk.
 """
 
 from __future__ import annotations
 
 import copy
 import threading
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.db.engine.segments import CollectionStore
 
 from repro.common.errors import DuplicateError, ValidationError
 from repro.common.ids import new_uuid
@@ -27,13 +53,20 @@ from repro.db.query import (
 class Collection:
     """An ordered set of documents with unique-index enforcement."""
 
-    def __init__(self, name: str):
+    def __init__(
+        self, name: str, store: Optional["CollectionStore"] = None
+    ):
         self.name = name
         self._documents: Dict[str, Dict[str, Any]] = {}
         #: field → {index key → doc id}.  The map *is* the index: it
         #: enforces uniqueness at O(1) per write and serves equality
         #: lookups on the field without scanning the collection.
         self._unique_indexes: Dict[str, Dict[Any, str]] = {}
+        #: field → {index key → set of doc ids}: non-unique secondary
+        #: indexes; list values index every element (multikey).
+        self._secondary_indexes: Dict[str, Dict[Any, Set[str]]] = {}
+        #: Durable op log (a CollectionStore) or None for memory-only.
+        self._store = store
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------- indexes
@@ -45,6 +78,7 @@ class Collection:
         which is what lets non-repository artifacts omit git info.
         """
         with self._lock:
+            known = field in self._unique_indexes
             seen: Dict[Any, str] = {}
             for doc_id, doc in self._documents.items():
                 value = get_path(doc, field)
@@ -57,9 +91,52 @@ class Collection:
                         f"{field!r}"
                     )
                 seen[key] = doc_id
+            if self._store is not None and not known:
+                self._store.log_index(field, unique=True)
             self._unique_indexes[field] = seen
 
-    def _check_unique(self, document: Dict[str, Any], ignore_id=None) -> None:
+    def create_index(self, field: str) -> None:
+        """Build a non-unique secondary index over ``field``.
+
+        Serves ``find()`` equality and scalar ``$in`` queries from the
+        index instead of a collection scan.  List values are multikey:
+        each element is indexed, so equality-with-element matches keep
+        working through the fast path.  Idempotent.
+        """
+        with self._lock:
+            if field in self._secondary_indexes:
+                return
+            index: Dict[Any, Set[str]] = {}
+            for doc_id, doc in self._documents.items():
+                for key in self._entry_keys(doc, field):
+                    index.setdefault(key, set()).add(doc_id)
+            if self._store is not None:
+                self._store.log_index(field, unique=False)
+            self._secondary_indexes[field] = index
+
+    def index_fields(self) -> Dict[str, str]:
+        """{field: "unique" | "secondary"} for every index."""
+        with self._lock:
+            fields = {f: "unique" for f in self._unique_indexes}
+            fields.update(
+                (f, "secondary") for f in self._secondary_indexes
+            )
+            return fields
+
+    @staticmethod
+    def _entry_keys(doc: Dict[str, Any], field: str) -> List[Any]:
+        """Index keys a document contributes to a secondary index."""
+        value = get_path(doc, field)
+        if value is _MISSING or _unset(value):
+            return []
+        keys = [_index_key(value)]
+        if isinstance(value, list):
+            keys.extend(_index_key(item) for item in value)
+        return keys
+
+    def _check_unique(
+        self, document: Dict[str, Any], ignore_id: Optional[str] = None
+    ) -> None:
         for field, index in self._unique_indexes.items():
             value = get_path(document, field)
             if value is _MISSING or _unset(value):
@@ -77,6 +154,9 @@ class Collection:
             if value is _MISSING or _unset(value):
                 continue
             index[_index_key(value)] = document["_id"]
+        for field, sets in self._secondary_indexes.items():
+            for key in self._entry_keys(document, field):
+                sets.setdefault(key, set()).add(document["_id"])
 
     def _index_remove(self, document: Dict[str, Any]) -> None:
         for field, index in self._unique_indexes.items():
@@ -86,15 +166,24 @@ class Collection:
             key = _index_key(value)
             if index.get(key) == document["_id"]:
                 del index[key]
+        for field, sets in self._secondary_indexes.items():
+            for key in self._entry_keys(document, field):
+                bucket = sets.get(key)
+                if bucket is None:
+                    continue
+                bucket.discard(document["_id"])
+                if not bucket:
+                    del sets[key]
 
     def _candidates(self, query: Dict[str, Any]):
         """The documents a query can possibly match, cheaply.
 
         Equality on ``_id`` or on a uniquely-indexed field pins the
-        search to at most one document without touching the rest of the
-        collection; anything else (operators, unindexed fields) falls
-        back to a full scan.  Every candidate is still filtered through
-        ``matches``, so this is purely an access-path decision.
+        search to at most one document; equality or scalar ``$in`` on a
+        secondary-indexed field pins it to the index buckets.  Anything
+        else falls back to a full scan.  Every candidate is still
+        filtered through ``matches``, so this is purely an access-path
+        decision.
         """
         for field in ("_id", *self._unique_indexes):
             if field not in query:
@@ -111,12 +200,57 @@ class Collection:
             if doc_id is None or doc_id not in self._documents:
                 return []
             return [self._documents[doc_id]]
+        hit = self._secondary_candidates(query)
+        if hit is not None:
+            return hit
         return self._documents.values()
+
+    def _secondary_candidates(
+        self, query: Dict[str, Any]
+    ) -> Optional[List[Dict[str, Any]]]:
+        for field, index in self._secondary_indexes.items():
+            if field not in query:
+                continue
+            condition = query[field]
+            keys = self._condition_keys(condition)
+            if keys is None:
+                continue
+            ids: Set[str] = set()
+            for key in keys:
+                ids.update(index.get(key, ()))
+            return [
+                self._documents[doc_id]
+                for doc_id in ids
+                if doc_id in self._documents
+            ]
+        return None
+
+    @staticmethod
+    def _condition_keys(condition: Any) -> Optional[List[Any]]:
+        """Index keys answering a field condition, or None for no fast
+        path (operators other than ``$in``, lists, unset values)."""
+        if isinstance(condition, list) or _unset(condition):
+            return None
+        if isinstance(condition, dict):
+            if set(condition) != {"$in"}:
+                return None
+            values = condition["$in"]
+            if not isinstance(values, (list, tuple)):
+                return None  # matches() raises the ValidationError
+            if any(_unset(value) for value in values):
+                return None  # sparse values are not indexed; scan
+            return [_index_key(value) for value in values]
+        return [_index_key(condition)]
 
     # -------------------------------------------------------------- insert
 
     def insert_one(self, document: Dict[str, Any]) -> str:
-        """Insert a document, assigning ``_id`` if absent; returns the id."""
+        """Insert a document, assigning ``_id`` if absent; returns the id.
+
+        On a durable collection the insert is WAL-logged before it is
+        applied: when ``insert_one`` returns, the write survives a crash
+        (to the extent of the configured durability mode).
+        """
         if not isinstance(document, dict):
             raise ValidationError("documents must be dicts")
         with self._lock:
@@ -125,6 +259,8 @@ class Collection:
             if doc_id in self._documents:
                 raise DuplicateError(f"duplicate _id: {doc_id}")
             self._check_unique(doc)
+            if self._store is not None:
+                self._store.log_insert(doc)
             self._documents[doc_id] = doc
             self._index_add(doc)
             return doc_id
@@ -170,7 +306,9 @@ class Collection:
                 1 for doc in self._candidates(query) if matches(doc, query)
             )
 
-    def distinct(self, field: str, query=None) -> List[Any]:
+    def distinct(
+        self, field: str, query: Optional[Dict[str, Any]] = None
+    ) -> List[Any]:
         """Return the sorted distinct values of ``field`` over matches."""
         values = []
         for doc in self.find(query):
@@ -197,6 +335,8 @@ class Collection:
                     candidate = copy.deepcopy(doc)
                     _apply_update(candidate, update)
                     self._check_unique(candidate, ignore_id=doc["_id"])
+                    if self._store is not None:
+                        self._store.log_replace(candidate)
                     self._index_remove(doc)
                     doc.clear()
                     doc.update(candidate)
@@ -214,6 +354,8 @@ class Collection:
                     candidate = copy.deepcopy(doc)
                     _apply_update(candidate, update)
                     self._check_unique(candidate, ignore_id=doc["_id"])
+                    if self._store is not None:
+                        self._store.log_replace(candidate)
                     self._index_remove(doc)
                     doc.clear()
                     doc.update(candidate)
@@ -231,6 +373,8 @@ class Collection:
                     replacement = copy.deepcopy(document)
                     replacement["_id"] = doc_id
                     self._check_unique(replacement, ignore_id=doc_id)
+                    if self._store is not None:
+                        self._store.log_replace(replacement)
                     self._index_remove(doc)
                     self._documents[doc_id] = replacement
                     self._index_add(replacement)
@@ -243,6 +387,8 @@ class Collection:
         with self._lock:
             for doc in self._candidates(query):
                 if matches(doc, query):
+                    if self._store is not None:
+                        self._store.log_delete(doc["_id"])
                     self._index_remove(doc)
                     del self._documents[doc["_id"]]
                     return True
@@ -256,9 +402,40 @@ class Collection:
                 if matches(doc, query)
             ]
             for doc in doomed:
+                if self._store is not None:
+                    self._store.log_delete(doc["_id"])
                 self._index_remove(doc)
                 del self._documents[doc["_id"]]
             return len(doomed)
+
+    # ----------------------------------------------------------- recovery
+
+    def load_replayed(
+        self,
+        documents: Dict[str, Dict[str, Any]],
+        indexes: Sequence[Tuple[str, bool]] = (),
+    ) -> None:
+        """Adopt recovered state wholesale, without re-logging it.
+
+        Used by the database right after engine replay: the documents
+        and index definitions came *from* the WAL/segments, so pushing
+        them back through the logging insert path would double-write
+        every record on every open.
+        """
+        with self._lock:
+            store = self._store
+            self._store = None  # suppress logging while rebuilding
+            try:
+                self._documents = {
+                    doc_id: doc for doc_id, doc in documents.items()
+                }
+                for field, unique in indexes:
+                    if unique:
+                        self.create_unique_index(field)
+                    else:
+                        self.create_index(field)
+            finally:
+                self._store = store
 
     # ---------------------------------------------------------------- misc
 

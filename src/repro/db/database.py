@@ -1,40 +1,74 @@
-"""A named set of collections with JSON-lines persistence.
+"""A named set of collections backed by the embedded storage engine.
 
 Mirrors the role MongoDB plays for gem5art: a durable home for artifact and
-run documents.  A database can live purely in memory (tests) or be bound to a
-directory, where each collection persists as ``<name>.jsonl`` and blobs live
-under ``files/`` via the :class:`~repro.db.filestore.FileStore`.
+run documents.  A database can live purely in memory (tests) or be bound to
+a directory, where each collection persists through the
+:mod:`repro.db.engine` write-ahead log + sealed segments and blobs live
+under ``files/`` via the :class:`~repro.db.filestore.FileStore`::
+
+    <root>/
+        engine/<collection>/   # WAL + segments + manifest per collection
+        files/<xx>/<digest>    # sharded content-addressed blobs
+        <name>.jsonl           # legacy layout, imported once on open
+
+Unlike the original JSON-lines layout (rewritten wholesale by ``save()``),
+every acknowledged write is WAL-logged immediately; ``save()`` degrades to
+an fsync barrier and reopening a database is crash recovery: segments
+replay strictly checksummed, the WAL tail is healed, and whatever a
+``durability=strict`` writer acknowledged is guaranteed back.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.common.errors import ValidationError
-from repro.common.jsonutil import loads, stable_dumps
+from repro.common.jsonutil import loads
 from repro.db.collection import Collection
+from repro.db.engine import DURABILITY_MODES, StorageEngine
 from repro.db.filestore import FileStore
 
 _COLLECTION_SUFFIX = ".jsonl"
+_ENGINE_DIR = "engine"
 
 
 class Database:
     """A collection container, optionally bound to an on-disk directory."""
 
-    def __init__(self, name: str = "repro", root: Optional[str] = None):
+    def __init__(
+        self,
+        name: str = "repro",
+        root: Optional[str] = None,
+        durability: str = "batch",
+        engine_options: Optional[Dict[str, Any]] = None,
+    ):
         if not name:
             raise ValidationError("database name must be non-empty")
+        if durability not in DURABILITY_MODES:
+            raise ValidationError(
+                f"unknown durability {durability!r}; "
+                f"one of {DURABILITY_MODES}"
+            )
         self.name = name
         self.root = root
+        self.durability = durability
         self._collections: Dict[str, Collection] = {}
         self._lock = threading.RLock()
         self._files: Optional[FileStore] = None
+        self._engine: Optional[StorageEngine] = None
+        self._recovery: Dict[str, Dict[str, Any]] = {}
         if root is not None:
             os.makedirs(root, exist_ok=True)
             self._files = FileStore(os.path.join(root, "files"))
-            self._load_all()
+            self._engine = StorageEngine(
+                os.path.join(root, _ENGINE_DIR),
+                durability=durability,
+                **(engine_options or {}),
+            )
+            self._recover()
+            self._import_legacy_jsonl()
 
     # ---------------------------------------------------------- collections
 
@@ -42,7 +76,12 @@ class Database:
         """Return (creating on first use) the named collection."""
         with self._lock:
             if name not in self._collections:
-                self._collections[name] = Collection(name)
+                store = (
+                    self._engine.store(name)
+                    if self._engine is not None
+                    else None
+                )
+                self._collections[name] = Collection(name, store=store)
             return self._collections[name]
 
     def __getitem__(self, name: str) -> Collection:
@@ -55,8 +94,10 @@ class Database:
     def drop_collection(self, name: str) -> None:
         with self._lock:
             self._collections.pop(name, None)
+            if self._engine is not None:
+                self._engine.drop(name)
             if self.root is not None:
-                path = self._collection_path(name)
+                path = self._legacy_path(name)
                 if os.path.exists(path):
                     os.remove(path)
 
@@ -72,31 +113,64 @@ class Database:
 
     # ---------------------------------------------------------- persistence
 
-    def _collection_path(self, name: str) -> str:
-        return os.path.join(self.root, name + _COLLECTION_SUFFIX)
-
     def save(self) -> None:
-        """Flush every collection to its JSON-lines file.
+        """Force every buffered WAL byte to stable storage.
 
-        A no-op for purely in-memory databases.
+        Writes are already logged as they happen; this is an fsync
+        barrier (useful under ``durability=none|batch``).  A no-op for
+        purely in-memory databases.
         """
-        if self.root is None:
-            return
-        with self._lock:
-            for name, coll in self._collections.items():
-                path = self._collection_path(name)
-                tmp = path + ".tmp"
-                with open(tmp, "w", encoding="utf-8") as handle:
-                    for doc in coll.all_documents():
-                        handle.write(stable_dumps(doc))
-                        handle.write("\n")
-                os.replace(tmp, path)
+        if self._engine is not None:
+            self._engine.flush()
 
-    def _load_all(self) -> None:
+    def close(self) -> None:
+        """Stop the compaction thread and close the WAL writers."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def compact(self) -> Dict[str, Dict[str, Any]]:
+        """Seal + merge every collection's segments right now.
+
+        The background compactor does this on its own cadence; the
+        explicit form exists for the CLI and for shutdown hygiene.
+        Returns per-collection merge stats ({} for memory databases).
+        """
+        if self._engine is None:
+            return {}
+        return self._engine.compact_all()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ recovery
+
+    def _recover(self) -> None:
+        """Replay every persisted collection out of the engine."""
+        for name in self._engine.existing_names():
+            store = self._engine.store(name)
+            documents, indexes, report = store.load()
+            coll = Collection(name, store=store)
+            coll.load_replayed(documents, indexes)
+            self._collections[name] = coll
+            self._recovery[name] = report
+
+    def _import_legacy_jsonl(self) -> None:
+        """One-shot migration from the pre-engine JSON-lines layout.
+
+        A ``<name>.jsonl`` file is imported only while no engine state
+        exists for that collection; the import itself creates the
+        engine directory, so subsequent opens replay the engine and the
+        stale legacy file is ignored (and harmless to delete).
+        """
         for entry in sorted(os.listdir(self.root)):
             if not entry.endswith(_COLLECTION_SUFFIX):
                 continue
             name = entry[: -len(_COLLECTION_SUFFIX)]
+            if name in self._collections:
+                continue  # engine state exists; legacy file is stale
             coll = self.collection(name)
             with open(
                 os.path.join(self.root, entry), "r", encoding="utf-8"
@@ -106,6 +180,15 @@ class Database:
                     if line:
                         coll.insert_one(loads(line))
 
+    def _legacy_path(self, name: str) -> str:
+        return os.path.join(self.root, name + _COLLECTION_SUFFIX)
+
+    def recovery_report(self) -> Dict[str, Dict[str, Any]]:
+        """Per-collection crash-recovery summary from this open:
+        records replayed, WAL records, torn bytes truncated."""
+        with self._lock:
+            return {k: dict(v) for k, v in self._recovery.items()}
+
     # ---------------------------------------------------------------- stats
 
     def describe(self) -> Dict[str, int]:
@@ -114,3 +197,30 @@ class Database:
             return {
                 name: len(coll) for name, coll in self._collections.items()
             }
+
+    def storage_stats(self) -> Dict[str, Any]:
+        """Engine + blob-store shape for ``repro db stats``."""
+        with self._lock:
+            collections: Dict[str, Dict[str, Any]] = {}
+            engine_stats = (
+                self._engine.stats() if self._engine is not None else {}
+            )
+            for name, coll in self._collections.items():
+                entry: Dict[str, Any] = {
+                    "documents": len(coll),
+                    "indexes": coll.index_fields(),
+                }
+                entry.update(
+                    engine_stats.get(
+                        name,
+                        {"segments": 0, "segment_bytes": 0, "wal_bytes": 0},
+                    )
+                )
+                collections[name] = entry
+        stats: Dict[str, Any] = {
+            "durability": self.durability if self.root else "memory",
+            "collections": collections,
+        }
+        if self._files is not None:
+            stats["filestore"] = self._files.stats()
+        return stats

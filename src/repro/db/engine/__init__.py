@@ -1,0 +1,142 @@
+"""The embedded storage engine behind file-backed databases.
+
+``repro.db`` began as an in-memory dict flushed wholesale to JSON-lines
+files — fine for a demo, fatal for a 1M-run catalog (a crash mid-``save``
+loses everything since the last flush).  This package is the real engine
+underneath the same :class:`~repro.db.database.Database` /
+:class:`~repro.db.collection.Collection` API:
+
+- :mod:`~repro.db.engine.wal` — checksummed, length-prefixed write-ahead
+  log with a ``none|batch|strict`` durability knob and torn-tail repair;
+- :mod:`~repro.db.engine.segments` — per-collection immutable sealed
+  segments + active WAL, manifest-published via atomic rename;
+- :mod:`~repro.db.engine.compaction` — background thread merging
+  segments and dropping tombstones.
+
+:class:`StorageEngine` owns the directory tree and the compactor; the
+Database maps each collection onto a
+:class:`~repro.db.engine.segments.CollectionStore` and logs every
+acknowledged mutation through it *before* applying it in memory.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from typing import Any, Dict, List
+
+from repro.db.engine.compaction import (
+    DEFAULT_INTERVAL,
+    DEFAULT_MIN_SEGMENTS,
+    Compactor,
+)
+from repro.db.engine.segments import (
+    DEFAULT_SEAL_BYTES,
+    MANIFEST_NAME,
+    CollectionStore,
+)
+from repro.db.engine.wal import DURABILITY_MODES, WalWriter, read_log
+
+__all__ = [
+    "DURABILITY_MODES",
+    "Compactor",
+    "CollectionStore",
+    "StorageEngine",
+    "WalWriter",
+    "read_log",
+]
+
+
+class StorageEngine:
+    """A directory of collection stores plus their compaction thread."""
+
+    def __init__(
+        self,
+        root: str,
+        durability: str = "batch",
+        seal_bytes: int = DEFAULT_SEAL_BYTES,
+        batch_size: int = 64,
+        auto_compact: bool = True,
+        compact_interval: float = DEFAULT_INTERVAL,
+        compact_min_segments: int = DEFAULT_MIN_SEGMENTS,
+    ):
+        self.root = root
+        self.durability = durability
+        self.seal_bytes = seal_bytes
+        self.batch_size = batch_size
+        self._lock = threading.RLock()
+        self._stores: Dict[str, CollectionStore] = {}
+        self._closed = False
+        os.makedirs(root, exist_ok=True)
+        self.compactor = Compactor(
+            self,
+            interval=compact_interval,
+            min_segments=compact_min_segments,
+        )
+        if auto_compact:
+            self.compactor.start()
+
+    # ------------------------------------------------------------- stores
+
+    def store(self, name: str) -> CollectionStore:
+        """Return (creating on first use) the named collection store."""
+        with self._lock:
+            if name not in self._stores:
+                self._stores[name] = CollectionStore(
+                    self.root,
+                    name,
+                    durability=self.durability,
+                    seal_bytes=self.seal_bytes,
+                    batch_size=self.batch_size,
+                )
+            return self._stores[name]
+
+    def stores(self) -> List[CollectionStore]:
+        with self._lock:
+            return list(self._stores.values())
+
+    def existing_names(self) -> List[str]:
+        """Collections already persisted under this engine root."""
+        names = []
+        for entry in sorted(os.listdir(self.root)):
+            manifest = os.path.join(self.root, entry, MANIFEST_NAME)
+            if os.path.isfile(manifest):
+                names.append(entry)
+        return names
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            store = self._stores.pop(name, None)
+            if store is not None:
+                store.close()
+            path = os.path.join(self.root, name)
+            if os.path.isdir(path):
+                shutil.rmtree(path)
+
+    # ------------------------------------------------------- maintenance
+
+    def flush(self) -> None:
+        """fsync every active WAL (the engine's ``save()``)."""
+        for store in self.stores():
+            store.flush()
+
+    def compact_all(self) -> Dict[str, Dict[str, Any]]:
+        """Force-compact every collection; returns per-collection stats."""
+        results = {}
+        for store in self.stores():
+            store.seal()  # pull the active WAL into the merge, if any
+            results[store.name] = store.compact()
+        return results
+
+    def stats(self) -> Dict[str, Dict[str, Any]]:
+        return {store.name: store.stats() for store in self.stores()}
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.compactor.stop()
+        for store in self.stores():
+            store.close()

@@ -5,19 +5,55 @@ GridFS keyed by its hash so identical files are stored once.  This store
 provides the same contract: ``put`` bytes or a host file and receive a
 content id (SHA-256); ``get`` the bytes back; idempotent re-puts.
 
-Blobs live either in memory (``root=None``) or as files named by their
-digest under a directory, which doubles as a human-inspectable archive.
+Blobs live either in memory (``root=None``) or on disk **sharded by hash
+prefix**: blob ``ab12…`` lives at ``<root>/ab/ab12…``.  Content
+addressing makes the first-byte fan-out free — no routing table, the id
+*is* the route — and keeps directories at ~1/256th of the store, which
+is what lets a million-blob archive survive ``listdir``.  Blobs written
+by older releases directly under ``<root>`` are still found, and
+:meth:`scrub` migrates them into their shard.
+
+:meth:`scrub` is the bit-rot police: it re-hashes every blob, moves
+corrupt ones into ``<root>/quarantine/`` (so a later ``put`` of the
+pristine content can repopulate the address), and reports through the
+``filestore_scrub_{scanned,repaired,quarantined}_total`` counters.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 from typing import Dict, List, Optional
 
-from repro import chaos
+from repro import chaos, telemetry
 from repro.common.errors import CorruptBlobError, NotFoundError
 from repro.common.hashing import sha256_bytes
+from repro.common.ids import new_uuid
+
+_CHUNK_SIZE = 1 << 20
+_QUARANTINE_DIR = "quarantine"
+
+
+def _scanned_counter():
+    return telemetry.get_metrics().counter(
+        "filestore_scrub_scanned_total",
+        "Blobs re-hashed by FileStore.scrub",
+    )
+
+
+def _repaired_counter():
+    return telemetry.get_metrics().counter(
+        "filestore_scrub_repaired_total",
+        "Blobs scrub migrated from the legacy flat layout into shards",
+    )
+
+
+def _quarantined_counter():
+    return telemetry.get_metrics().counter(
+        "filestore_scrub_quarantined_total",
+        "Corrupt blobs scrub moved into quarantine",
+    )
 
 
 class FileStore:
@@ -33,7 +69,7 @@ class FileStore:
 
     # ----------------------------------------------------------------- put
 
-    def put_bytes(self, data: bytes, filename: str = None) -> str:
+    def put_bytes(self, data: bytes, filename: Optional[str] = None) -> str:
         """Store a byte string; returns its content id.  Idempotent."""
         digest = sha256_bytes(data)
         chaos.fire("filestore.put", digest=digest, filename=filename)
@@ -43,22 +79,76 @@ class FileStore:
                     self._memory[digest] = data
                 else:
                     path = self._blob_path(digest)
+                    os.makedirs(os.path.dirname(path), exist_ok=True)
                     tmp = path + ".tmp"
                     with open(tmp, "wb") as handle:
                         handle.write(data)
                     os.replace(tmp, path)
-            meta = self._metadata.setdefault(
-                digest, {"length": len(data), "filenames": []}
-            )
-            if filename and filename not in meta["filenames"]:
-                meta["filenames"].append(filename)
+            self._note_metadata(digest, len(data), filename)
         return digest
 
     def put_file(self, path: str) -> str:
-        """Store a host file's content; returns its content id."""
-        with open(path, "rb") as handle:
-            data = handle.read()
-        return self.put_bytes(data, filename=os.path.basename(path))
+        """Store a host file's content; returns its content id.
+
+        Streams in chunks through an incremental SHA-256 — a multi-GB
+        disk image never lands in memory.  On disk stores the bytes go
+        straight into a temp file that is atomically renamed (or
+        discarded, when the content already exists) once the digest is
+        known.
+        """
+        filename = os.path.basename(path)
+        if self.root is None:
+            hasher = hashlib.sha256()
+            buffer = bytearray()
+            with open(path, "rb") as source:
+                while True:
+                    chunk = source.read(_CHUNK_SIZE)
+                    if not chunk:
+                        break
+                    hasher.update(chunk)
+                    buffer.extend(chunk)
+            digest = hasher.hexdigest()
+            chaos.fire("filestore.put", digest=digest, filename=filename)
+            with self._lock:
+                if digest not in self._memory:
+                    self._memory[digest] = bytes(buffer)
+                self._note_metadata(digest, len(buffer), filename)
+            return digest
+        hasher = hashlib.sha256()
+        length = 0
+        tmp = os.path.join(self.root, f"ingest-{new_uuid()}.tmp")
+        try:
+            with open(path, "rb") as source, open(tmp, "wb") as sink:
+                while True:
+                    chunk = source.read(_CHUNK_SIZE)
+                    if not chunk:
+                        break
+                    hasher.update(chunk)
+                    sink.write(chunk)
+                    length += len(chunk)
+            digest = hasher.hexdigest()
+            chaos.fire("filestore.put", digest=digest, filename=filename)
+            with self._lock:
+                if self.exists(digest):
+                    os.remove(tmp)
+                else:
+                    blob = self._blob_path(digest)
+                    os.makedirs(os.path.dirname(blob), exist_ok=True)
+                    os.replace(tmp, blob)
+                self._note_metadata(digest, length, filename)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        return digest
+
+    def _note_metadata(
+        self, digest: str, length: int, filename: Optional[str]
+    ) -> None:
+        meta = self._metadata.setdefault(
+            digest, {"length": length, "filenames": []}
+        )
+        if filename and filename not in meta["filenames"]:
+            meta["filenames"].append(filename)
 
     # ----------------------------------------------------------------- get
 
@@ -77,8 +167,8 @@ class FileStore:
                     raise NotFoundError(f"no blob with id {digest}")
                 data = self._memory[digest]
             else:
-                path = self._blob_path(digest)
-                if not os.path.isfile(path):
+                path = self._find(digest)
+                if path is None:
                     raise NotFoundError(f"no blob with id {digest}")
                 with open(path, "rb") as handle:
                     data = handle.read()
@@ -111,27 +201,94 @@ class FileStore:
             self._metadata.pop(digest, None)
             if self.root is None:
                 return self._memory.pop(digest, None) is not None
-            path = self._blob_path(digest)
-            if not os.path.isfile(path):
+            path = self._find(digest)
+            if path is None:
                 return False
             os.remove(path)
             return True
+
+    # --------------------------------------------------------------- scrub
+
+    def scrub(self) -> Dict[str, object]:
+        """Re-verify every blob; quarantine rot, heal the layout.
+
+        Three outcomes per blob:
+
+        - hash matches, sharded path — healthy, left alone;
+        - hash matches, legacy flat path — **repaired**: moved into its
+          hash-prefix shard;
+        - hash mismatch — **quarantined**: moved to
+          ``<root>/quarantine/<digest>`` (in-memory stores just drop
+          it), freeing the address for a pristine re-put.
+        """
+        scanned = 0
+        repaired: List[str] = []
+        quarantined: List[str] = []
+        for digest in self.list_ids():
+            scanned += 1
+            with self._lock:
+                if self.root is None:
+                    data = self._memory.get(digest)
+                    if data is None:
+                        continue
+                    if sha256_bytes(data) != digest:
+                        del self._memory[digest]
+                        self._metadata.pop(digest, None)
+                        quarantined.append(digest)
+                    continue
+                path = self._find(digest)
+                if path is None:
+                    continue
+                with open(path, "rb") as handle:
+                    data = handle.read()
+                if sha256_bytes(data) != digest:
+                    target = os.path.join(
+                        self.root, _QUARANTINE_DIR, digest
+                    )
+                    os.makedirs(os.path.dirname(target), exist_ok=True)
+                    os.replace(path, target)
+                    self._metadata.pop(digest, None)
+                    quarantined.append(digest)
+                elif path == self._legacy_path(digest):
+                    sharded = self._blob_path(digest)
+                    os.makedirs(os.path.dirname(sharded), exist_ok=True)
+                    os.replace(path, sharded)
+                    repaired.append(digest)
+        _scanned_counter().inc(scanned)
+        if repaired:
+            _repaired_counter().inc(len(repaired))
+        if quarantined:
+            _quarantined_counter().inc(len(quarantined))
+        return {
+            "scanned": scanned,
+            "repaired": repaired,
+            "quarantined": quarantined,
+        }
 
     # ---------------------------------------------------------------- query
 
     def exists(self, digest: str) -> bool:
         if self.root is None:
             return digest in self._memory
-        return os.path.isfile(self._blob_path(digest))
+        return self._find(digest) is not None
 
     def list_ids(self) -> List[str]:
         if self.root is None:
             return sorted(self._memory)
-        return sorted(
-            entry
-            for entry in os.listdir(self.root)
-            if not entry.endswith(".tmp")
-        )
+        ids = set()
+        for entry in os.listdir(self.root):
+            path = os.path.join(self.root, entry)
+            if os.path.isdir(path):
+                if entry == _QUARANTINE_DIR:
+                    continue
+                ids.update(
+                    blob
+                    for blob in os.listdir(path)
+                    if not blob.endswith(".tmp")
+                )
+            elif not entry.endswith(".tmp"):
+                ids.add(entry)
+        return sorted(ids)
 
     def metadata(self, digest: str) -> Dict:
         if not self.exists(digest):
@@ -140,11 +297,49 @@ class FileStore:
             self._metadata.get(digest, {"length": None, "filenames": []})
         )
 
+    def stats(self) -> Dict[str, object]:
+        """Blob population and layout shape for ``repro db stats``."""
+        ids = self.list_ids()
+        stats: Dict[str, object] = {"blobs": len(ids), "bytes": 0, "shards": 0}
+        if self.root is None:
+            stats["bytes"] = sum(len(d) for d in self._memory.values())
+            return stats
+        total = 0
+        for digest in ids:
+            path = self._find(digest)
+            if path is not None and os.path.isfile(path):
+                total += os.path.getsize(path)
+        stats["bytes"] = total
+        stats["shards"] = sum(
+            1
+            for entry in os.listdir(self.root)
+            if entry != _QUARANTINE_DIR
+            and os.path.isdir(os.path.join(self.root, entry))
+        )
+        quarantine = os.path.join(self.root, _QUARANTINE_DIR)
+        stats["quarantined"] = (
+            len(os.listdir(quarantine)) if os.path.isdir(quarantine) else 0
+        )
+        return stats
+
     def __contains__(self, digest: str) -> bool:
         return self.exists(digest)
 
     def __len__(self) -> int:
         return len(self.list_ids())
 
+    # ---------------------------------------------------------------- paths
+
     def _blob_path(self, digest: str) -> str:
+        """Sharded home of a blob: first-byte fan-out subdirectory."""
+        return os.path.join(self.root, digest[:2], digest)
+
+    def _legacy_path(self, digest: str) -> str:
+        """Pre-sharding flat location, still honoured on reads."""
         return os.path.join(self.root, digest)
+
+    def _find(self, digest: str) -> Optional[str]:
+        for path in (self._blob_path(digest), self._legacy_path(digest)):
+            if os.path.isfile(path):
+                return path
+        return None

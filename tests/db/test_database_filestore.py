@@ -138,8 +138,9 @@ def test_filestore_missing_blob_raises():
 def test_filestore_detects_on_disk_corruption(tmp_path):
     store = FileStore(str(tmp_path / "blobs"))
     digest = store.put_bytes(b"pristine disk image")
-    # Corrupt the blob behind the store's back (bit rot / truncation).
-    blob_path = tmp_path / "blobs" / digest
+    # Corrupt the blob behind the store's back (bit rot / truncation),
+    # in its hash-prefix shard directory.
+    blob_path = tmp_path / "blobs" / digest[:2] / digest
     blob_path.write_bytes(b"pristine disk imagX")
     with pytest.raises(CorruptBlobError, match=digest[:16]):
         store.get_bytes(digest)

@@ -1,0 +1,148 @@
+"""Tests for FileStore sharding, streaming ingest, and scrub."""
+
+import os
+
+from repro import telemetry
+from repro.common.hashing import sha256_bytes
+from repro.db.filestore import FileStore
+
+
+# ---------------------------------------------------------------- layout
+
+
+def test_blobs_land_in_hash_prefix_shards(tmp_path):
+    store = FileStore(str(tmp_path))
+    digest = store.put_bytes(b"sharded payload")
+    assert os.path.isfile(tmp_path / digest[:2] / digest)
+    assert not os.path.exists(tmp_path / digest)  # not flat
+    assert store.get_bytes(digest) == b"sharded payload"
+
+
+def test_legacy_flat_blobs_still_readable(tmp_path):
+    data = b"written by an older release"
+    digest = sha256_bytes(data)
+    (tmp_path / digest).write_bytes(data)
+    store = FileStore(str(tmp_path))
+    assert store.exists(digest)
+    assert store.get_bytes(digest) == data
+    assert digest in store.list_ids()
+
+
+def test_stats_report_shard_fanout(tmp_path):
+    store = FileStore(str(tmp_path))
+    digests = {store.put_bytes(bytes([i]) * 10) for i in range(20)}
+    stats = store.stats()
+    assert stats["blobs"] == len(digests)
+    assert stats["bytes"] == 10 * len(digests)
+    assert 1 <= stats["shards"] <= len(digests)
+    assert stats["quarantined"] == 0
+
+
+# --------------------------------------------------------------- streaming
+
+
+def test_put_file_streams_and_matches_put_bytes(tmp_path):
+    # Larger than one chunk so the incremental hash sees 2+ updates.
+    data = os.urandom(64) * ((1 << 20) // 32)
+    source = tmp_path / "disk-image.img"
+    source.write_bytes(data)
+    store = FileStore(str(tmp_path / "blobs"))
+    digest = store.put_file(str(source))
+    assert digest == sha256_bytes(data)
+    assert store.get_bytes(digest) == data
+    assert store.metadata(digest)["length"] == len(data)
+    # No ingest temp files left behind.
+    assert not [
+        name
+        for name in os.listdir(tmp_path / "blobs")
+        if name.endswith(".tmp")
+    ]
+
+
+def test_put_file_idempotent_reput_discards_temp(tmp_path):
+    source = tmp_path / "artifact.bin"
+    source.write_bytes(b"same content twice")
+    store = FileStore(str(tmp_path / "blobs"))
+    first = store.put_file(str(source))
+    second = store.put_file(str(source))
+    assert first == second
+    assert len(store) == 1
+    assert not [
+        name
+        for name in os.listdir(tmp_path / "blobs")
+        if name.endswith(".tmp")
+    ]
+
+
+def test_memory_put_file_streams(tmp_path):
+    source = tmp_path / "artifact.bin"
+    source.write_bytes(b"in-memory streaming")
+    store = FileStore(None)
+    digest = store.put_file(str(source))
+    assert store.get_bytes(digest) == b"in-memory streaming"
+
+
+# ------------------------------------------------------------------ scrub
+
+
+def test_scrub_clean_store(tmp_path):
+    store = FileStore(str(tmp_path))
+    store.put_bytes(b"one")
+    store.put_bytes(b"two")
+    report = store.scrub()
+    assert report["scanned"] == 2
+    assert report["repaired"] == []
+    assert report["quarantined"] == []
+
+
+def test_scrub_quarantines_corrupt_blob(tmp_path):
+    store = FileStore(str(tmp_path))
+    good = store.put_bytes(b"stays pristine")
+    bad = store.put_bytes(b"will rot")
+    (tmp_path / bad[:2] / bad).write_bytes(b"bit rot")
+    report = store.scrub()
+    assert report["quarantined"] == [bad]
+    assert not store.exists(bad)
+    assert os.path.isfile(tmp_path / "quarantine" / bad)
+    assert store.get_bytes(good) == b"stays pristine"
+    # The address is free again: a pristine re-put repopulates it.
+    assert store.put_bytes(b"will rot") == bad
+    assert store.get_bytes(bad) == b"will rot"
+
+
+def test_scrub_migrates_legacy_blob_into_shard(tmp_path):
+    data = b"legacy but healthy"
+    digest = sha256_bytes(data)
+    (tmp_path / digest).write_bytes(data)
+    store = FileStore(str(tmp_path))
+    report = store.scrub()
+    assert report["repaired"] == [digest]
+    assert os.path.isfile(tmp_path / digest[:2] / digest)
+    assert not os.path.exists(tmp_path / digest)
+    assert store.get_bytes(digest) == data
+
+
+def test_scrub_memory_store_drops_corruption():
+    store = FileStore(None)
+    digest = store.put_bytes(b"original")
+    store._memory[digest] = b"tampered"
+    report = store.scrub()
+    assert report["quarantined"] == [digest]
+    assert not store.exists(digest)
+
+
+def test_scrub_increments_counters(tmp_path):
+    store = FileStore(str(tmp_path))
+    bad = store.put_bytes(b"doomed")
+    (tmp_path / bad[:2] / bad).write_bytes(b"xx")
+    legacy_data = b"flat file"
+    legacy = sha256_bytes(legacy_data)
+    (tmp_path / legacy).write_bytes(legacy_data)
+    with telemetry.session() as session:
+        store.scrub()
+        metrics = session.metrics
+        assert metrics.counter("filestore_scrub_scanned_total").value() == 2
+        assert metrics.counter("filestore_scrub_repaired_total").value() == 1
+        assert (
+            metrics.counter("filestore_scrub_quarantined_total").value() == 1
+        )

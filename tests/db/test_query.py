@@ -197,3 +197,56 @@ def test_property_all_with_subset(values):
     # Any subset of the array satisfies $all.
     subset = values[: len(values) // 2]
     assert matches(doc, {"items": {"$all": subset}})
+
+
+# ----------------------------------------------------------- edge cases
+
+
+def test_sort_mixed_missing_and_descending():
+    docs = [{"v": 2}, {}, {"v": 1}, {"x": 9}]
+    ascending = sort_documents(docs, [("v", 1)])
+    # Missing fields sort first ascending (both missing docs lead) ...
+    assert ascending[:2] == [{}, {"x": 9}]
+    assert [d.get("v") for d in ascending[2:]] == [1, 2]
+    # ... and therefore last descending.
+    descending = sort_documents(docs, [("v", -1)])
+    assert [d.get("v") for d in descending[:2]] == [2, 1]
+    assert descending[2:] == [{}, {"x": 9}]
+
+
+def test_sort_missing_is_stable_across_keys():
+    docs = [{"a": 1, "b": 2}, {"b": 1}, {"a": 1, "b": 1}]
+    out = sort_documents(docs, [("a", 1), ("b", 1)])
+    assert out == [{"b": 1}, {"a": 1, "b": 1}, {"a": 1, "b": 2}]
+
+
+def test_in_against_non_list_raises():
+    with pytest.raises(ValidationError):
+        matches(DOC, {"version": {"$in": 20}})
+    with pytest.raises(ValidationError):
+        matches(DOC, {"version": {"$nin": "20"}})
+
+
+def test_in_against_missing_field_is_false():
+    assert not matches(DOC, {"absent": {"$in": [1, 2]}})
+    assert matches(DOC, {"absent": {"$nin": [1, 2]}})
+
+
+def test_in_with_empty_sequence_matches_nothing():
+    assert not matches(DOC, {"version": {"$in": []}})
+    assert not matches(DOC, {"tags": {"$in": ()}})
+
+
+def test_project_nested_path_through_absent_intermediate():
+    # The intermediate key is absent entirely ...
+    assert project({"a": 1}, ["b.c.d"]) == {}
+    # ... or present but not a dict: the path cannot resolve, so the
+    # field is skipped rather than fabricating {"a": {...}} structure.
+    assert project({"a": 5}, ["a.b"]) == {}
+    assert project({"a": {"b": 1}}, ["a.b.c"]) == {}
+
+
+def test_project_partially_resolvable_paths():
+    doc = {"_id": "x", "a": {"b": 1}, "c": 2}
+    out = project(doc, ["a.b", "a.missing", "c"])
+    assert out == {"_id": "x", "a": {"b": 1}, "c": 2}

@@ -223,3 +223,91 @@ def test_trace_unknown_experiment(tmp_path, capsys):
     uri = f"file://{tmp_path}/emptydb"
     assert main(["trace", "nothing-here", "--db", uri]) == 1
     assert "error:" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------- db verbs
+
+
+def _seed_db(tmp_path, docs=5):
+    from repro.db import connect
+
+    uri = f"file://{tmp_path}/store"
+    db = connect(uri)
+    for i in range(docs):
+        db["runs"].insert_one({"_id": f"r{i}", "n": i})
+    db.save()
+    db.close()
+    return uri
+
+
+def test_db_stats(tmp_path, capsys):
+    uri = _seed_db(tmp_path)
+    assert main(["db", "stats", "--db", uri]) == 0
+    out = capsys.readouterr().out
+    assert "STORAGE ENGINE" in out
+    assert "runs" in out
+    assert "filestore:" in out
+
+
+def test_db_compact(tmp_path, capsys):
+    from repro.db import Database
+
+    root = str(tmp_path / "store")
+    db = Database(
+        "test", root=root,
+        engine_options={"auto_compact": False, "seal_bytes": 128},
+    )
+    for i in range(40):
+        db["runs"].insert_one({"_id": f"r{i}", "pad": "x" * 24})
+    db.close()
+    assert main(["db", "compact", "--db", f"file://{root}"]) == 0
+    out = capsys.readouterr().out
+    assert "merged" in out
+    # A second pass finds a single segment per collection: nothing to do.
+    assert main(["db", "compact", "--db", f"file://{root}"]) == 0
+    assert "nothing to compact" in capsys.readouterr().out
+
+
+def test_db_scrub_clean_store(tmp_path, capsys):
+    uri = _seed_db(tmp_path)
+    from repro.db import connect
+
+    db = connect(uri)
+    db.files.put_bytes(b"artifact payload")
+    db.close()
+    assert main(["db", "scrub", "--db", uri]) == 0
+    out = capsys.readouterr().out
+    assert "scanned      1" in out
+    assert "quarantined  0" in out
+
+
+def test_db_scrub_flags_corruption(tmp_path, capsys):
+    uri = _seed_db(tmp_path)
+    from repro.db import connect
+
+    db = connect(uri)
+    digest = db.files.put_bytes(b"good bytes")
+    db.close()
+    blob = tmp_path / "store" / "files" / digest[:2] / digest
+    blob.write_bytes(b"rotted")
+    assert main(["db", "scrub", "--db", uri]) == 1
+    out = capsys.readouterr().out
+    assert f"quarantined {digest}" in out
+
+
+def test_db_recover(tmp_path, capsys):
+    uri = _seed_db(tmp_path)
+    assert main(["db", "recover", "--db", uri]) == 0
+    out = capsys.readouterr().out
+    assert "CRASH RECOVERY" in out
+    assert "runs" in out
+
+
+def test_db_recover_empty(tmp_path, capsys):
+    assert main(["db", "recover", "--db", f"file://{tmp_path}/fresh"]) == 0
+    assert "no persisted collections" in capsys.readouterr().out
+
+
+def test_db_bad_uri(capsys):
+    assert main(["db", "stats", "--db", "bogus://nope"]) == 1
+    assert "error:" in capsys.readouterr().out

@@ -23,8 +23,11 @@ point                   fired
                         write accepted but never logged, so never
                         acknowledged)
 ``segment.seal``        before the active WAL is renamed into a segment
-``compact.publish``     before a compacted segment is swapped into the
-                        manifest
+``compact.publish``     before a compacted snapshot is renamed into
+                        place (crash = only a ``*.tmp`` left behind)
+``compact.manifest``    after the compacted snapshot is renamed but
+                        before the manifest republish (crash = an
+                        unreferenced ``compact-*.seg``, swept on open)
 ======================  ====================================================
 
 Usage::

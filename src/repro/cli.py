@@ -692,6 +692,7 @@ def _cmd_db(args) -> int:
             print(f"scanned      {report['scanned']}")
             print(f"repaired     {len(report['repaired'])}")
             print(f"quarantined  {len(report['quarantined'])}")
+            print(f"tmp swept    {report['tmp_swept']}")
             for digest in report["quarantined"]:
                 print(f"  quarantined {digest}")
             return 1 if report["quarantined"] else 0

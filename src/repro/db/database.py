@@ -9,7 +9,8 @@ under ``files/`` via the :class:`~repro.db.filestore.FileStore`::
     <root>/
         engine/<collection>/   # WAL + segments + manifest per collection
         files/<xx>/<digest>    # sharded content-addressed blobs
-        <name>.jsonl           # legacy layout, imported once on open
+        <name>.jsonl           # legacy layout, imported on open then
+        <name>.jsonl.imported  # renamed aside as the completion marker
 
 Unlike the original JSON-lines layout (rewritten wholesale by ``save()``),
 every acknowledged write is WAL-logged immediately; ``save()`` degrades to
@@ -28,9 +29,11 @@ from repro.common.errors import ValidationError
 from repro.common.jsonutil import loads
 from repro.db.collection import Collection
 from repro.db.engine import DURABILITY_MODES, StorageEngine
+from repro.db.engine.wal import fsync_dir
 from repro.db.filestore import FileStore
 
 _COLLECTION_SUFFIX = ".jsonl"
+_IMPORTED_SUFFIX = ".imported"
 _ENGINE_DIR = "engine"
 
 
@@ -97,9 +100,10 @@ class Database:
             if self._engine is not None:
                 self._engine.drop(name)
             if self.root is not None:
-                path = self._legacy_path(name)
-                if os.path.exists(path):
-                    os.remove(path)
+                legacy = self._legacy_path(name)
+                for path in (legacy, legacy + _IMPORTED_SUFFIX):
+                    if os.path.exists(path):
+                        os.remove(path)
 
     # ---------------------------------------------------------------- files
 
@@ -160,25 +164,35 @@ class Database:
     def _import_legacy_jsonl(self) -> None:
         """One-shot migration from the pre-engine JSON-lines layout.
 
-        A ``<name>.jsonl`` file is imported only while no engine state
-        exists for that collection; the import itself creates the
-        engine directory, so subsequent opens replay the engine and the
-        stale legacy file is ignored (and harmless to delete).
+        Crash-atomic: the legacy file only counts as consumed once the
+        import finished — the imported records are fsynced, then the
+        file is renamed aside to ``<name>.jsonl.imported`` as the
+        completion marker.  A crash mid-import therefore leaves the
+        ``.jsonl`` behind next to partial engine state; the next open
+        detects that pairing, discards the partial state, and redoes
+        the whole import instead of silently keeping half a migration.
         """
         for entry in sorted(os.listdir(self.root)):
             if not entry.endswith(_COLLECTION_SUFFIX):
                 continue
             name = entry[: -len(_COLLECTION_SUFFIX)]
             if name in self._collections:
-                continue  # engine state exists; legacy file is stale
+                # A completed import renames the legacy file away, so
+                # engine state plus a lingering .jsonl can only mean an
+                # earlier import crashed partway through.
+                self._engine.drop(name)
+                self._collections.pop(name, None)
+                self._recovery.pop(name, None)
             coll = self.collection(name)
-            with open(
-                os.path.join(self.root, entry), "r", encoding="utf-8"
-            ) as handle:
+            path = os.path.join(self.root, entry)
+            with open(path, "r", encoding="utf-8") as handle:
                 for line in handle:
                     line = line.strip()
                     if line:
                         coll.insert_one(loads(line))
+            self._engine.store(name).flush()
+            os.replace(path, path + _IMPORTED_SUFFIX)
+            fsync_dir(self.root)
 
     def _legacy_path(self, name: str) -> str:
         return os.path.join(self.root, name + _COLLECTION_SUFFIX)

@@ -24,9 +24,18 @@ Crash windows are closed structurally:
 - crash between seal-rename and manifest publish leaves an orphan
   ``segment-<next_seq>`` file; the next open adopts exactly that
   sequence number back into the manifest (nothing else is ever adopted);
-- crash mid-compaction leaves only a ``*.tmp`` file (swept on open) or
-  stale pre-compaction segments no longer in the manifest (also swept);
-  the old manifest stays authoritative until the final rename.
+- compaction output lives in its own ``compact-<seq>.seg`` namespace,
+  which orphan adoption never touches: a crash anywhere mid-compaction
+  leaves either a ``*.tmp`` file or an unreferenced ``compact-*.seg``
+  (both swept on open) plus stale pre-compaction segments still listed
+  in the manifest — the old manifest stays authoritative until the
+  final manifest rename publishes the swap.
+
+The namespace split matters: a merge snapshot reflects state as of
+merge *start*, so re-adopting one onto the end of the manifest would
+replay it after any segment sealed during the merge, resurrecting
+deleted documents and reverting updates.  Only a sealed WAL — always
+the newest ops — may ever be adopted.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ from repro.db.engine.wal import (
 MANIFEST_NAME = "MANIFEST.json"
 WAL_NAME = "wal.log"
 _SEGMENT_RE = re.compile(r"^segment-(\d{8})\.seg$")
+_COMPACT_RE = re.compile(r"^compact-(\d{8})\.seg$")
 
 #: Default auto-seal threshold for the active WAL.
 DEFAULT_SEAL_BYTES = 1 << 20
@@ -56,6 +66,17 @@ DEFAULT_SEAL_BYTES = 1 << 20
 
 def _segment_name(seq: int) -> str:
     return f"segment-{seq:08d}.seg"
+
+
+def _compact_name(seq: int) -> str:
+    """Compaction output name — deliberately NOT ``segment-*``.
+
+    Orphan adoption recognises only ``segment-<next_seq>``, so a
+    compacted snapshot stranded between its rename and the manifest
+    publish is swept as unreferenced instead of being adopted behind
+    segments that hold newer operations.
+    """
+    return f"compact-{seq:08d}.seg"
 
 
 def _sealed_counter():
@@ -162,10 +183,13 @@ class CollectionStore:
     def _adopt_orphan_segment(self) -> None:
         """Re-adopt a segment stranded between seal-rename and publish.
 
-        Only the exact ``next_seq`` file can be such an orphan: seal
-        renames the WAL to ``segment-<next_seq>`` *before* republishing
+        Only the exact ``segment-<next_seq>`` file can be such an
+        orphan: seal renames the WAL to that name *before* republishing
         the manifest, so a crash in between leaves precisely that file.
-        Anything else unlisted is pre-compaction debris and is swept.
+        Compaction output is named ``compact-*`` and thus can never be
+        adopted here — a snapshot of merge-*start* state appended after
+        newer sealed segments would resurrect deletes.  Anything else
+        unlisted is crash debris and is swept.
         """
         orphan = _segment_name(self._manifest["next_seq"])
         if orphan in self._manifest["segments"]:
@@ -178,7 +202,10 @@ class CollectionStore:
     def _sweep_unreferenced_segments(self) -> None:
         listed = set(self._manifest["segments"])
         for entry in os.listdir(self.dir):
-            if _SEGMENT_RE.match(entry) and entry not in listed:
+            recognised = _SEGMENT_RE.match(entry) or _COMPACT_RE.match(
+                entry
+            )
+            if recognised and entry not in listed:
                 os.remove(os.path.join(self.dir, entry))
 
     def _heal_wal_tail(self) -> Dict[str, Any]:
@@ -349,12 +376,19 @@ class CollectionStore:
             handle.flush()
             os.fsync(handle.fileno())
         with self._lock:
-            segment = _segment_name(self._manifest["next_seq"])
+            segment = _compact_name(self._manifest["next_seq"])
             chaos.fire(
                 "compact.publish", collection=self.name, segment=segment
             )
             os.replace(tmp, self._segment_path(segment))
             fsync_dir(self.dir)
+            # Second crash window: output renamed into place but the
+            # manifest not yet republished.  The compact-* namespace
+            # keeps the stranded file non-adoptable; the next open
+            # sweeps it while the old manifest stays authoritative.
+            chaos.fire(
+                "compact.manifest", collection=self.name, segment=segment
+            )
             survivors = [
                 s for s in self._manifest["segments"] if s not in merged
             ]

@@ -23,16 +23,38 @@ from __future__ import annotations
 
 import hashlib
 import os
+import re
 import threading
 from typing import Dict, List, Optional
 
 from repro import chaos, telemetry
-from repro.common.errors import CorruptBlobError, NotFoundError
+from repro.common.errors import (
+    CorruptBlobError,
+    NotFoundError,
+    ValidationError,
+)
 from repro.common.hashing import sha256_bytes
 from repro.common.ids import new_uuid
 
 _CHUNK_SIZE = 1 << 20
 _QUARANTINE_DIR = "quarantine"
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def _check_digest(digest: str) -> str:
+    """Reject anything that is not a SHA-256 content id.
+
+    Every id handed out by ``put_*`` is 64 lowercase hex characters;
+    nothing else may ever reach ``os.path.join`` against the store root
+    (a "digest" like ``../engine/MANIFEST.json`` would otherwise escape
+    it — and ``delete`` would unlink whatever it lands on).
+    """
+    if not isinstance(digest, str) or _DIGEST_RE.match(digest) is None:
+        raise ValidationError(
+            f"invalid content id {digest!r}: expected 64 lowercase "
+            "hex characters"
+        )
+    return digest
 
 
 def _scanned_counter():
@@ -66,6 +88,31 @@ class FileStore:
         self._lock = threading.RLock()
         if root is not None:
             os.makedirs(root, exist_ok=True)
+            self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Reclaim tmp files stranded by a crash mid-put.
+
+        ``put_file`` streams into ``ingest-<uuid>.tmp`` in the store
+        root and ``put_bytes`` stages ``<digest>.tmp`` inside the
+        shard; a process killed before the atomic rename leaks them —
+        for an aborted multi-GB ingest, indefinitely.  Any ``*.tmp``
+        found at open (or during scrub) belongs to a dead writer and
+        is removed.  Returns the number of files swept.
+        """
+        swept = 0
+        for entry in os.listdir(self.root):
+            path = os.path.join(self.root, entry)
+            if os.path.isfile(path):
+                if entry.endswith(".tmp"):
+                    os.remove(path)
+                    swept += 1
+            elif entry != _QUARANTINE_DIR:
+                for blob in os.listdir(path):
+                    if blob.endswith(".tmp"):
+                        os.remove(os.path.join(path, blob))
+                        swept += 1
+        return swept
 
     # ----------------------------------------------------------------- put
 
@@ -160,6 +207,7 @@ class FileStore:
         (truncation, bit rot, an out-of-band overwrite) and is reported
         as :class:`CorruptBlobError` rather than silently returned.
         """
+        _check_digest(digest)
         chaos.fire("filestore.get", digest=digest)
         with self._lock:
             if self.root is None:
@@ -197,6 +245,7 @@ class FileStore:
         removing it lets the next ``put_bytes`` of the pristine content
         re-populate the same address.  Returns True when a blob existed.
         """
+        _check_digest(digest)
         with self._lock:
             self._metadata.pop(digest, None)
             if self.root is None:
@@ -220,10 +269,17 @@ class FileStore:
         - hash mismatch — **quarantined**: moved to
           ``<root>/quarantine/<digest>`` (in-memory stores just drop
           it), freeing the address for a pristine re-put.
+
+        Stale ``*.tmp`` files from crashed puts are also swept (as on
+        open), reported as ``tmp_swept``.
         """
         scanned = 0
         repaired: List[str] = []
         quarantined: List[str] = []
+        tmp_swept = 0
+        if self.root is not None:
+            with self._lock:
+                tmp_swept = self._sweep_stale_tmp()
         for digest in self.list_ids():
             scanned += 1
             with self._lock:
@@ -263,11 +319,13 @@ class FileStore:
             "scanned": scanned,
             "repaired": repaired,
             "quarantined": quarantined,
+            "tmp_swept": tmp_swept,
         }
 
     # ---------------------------------------------------------------- query
 
     def exists(self, digest: str) -> bool:
+        _check_digest(digest)
         if self.root is None:
             return digest in self._memory
         return self._find(digest) is not None

@@ -145,6 +145,44 @@ def test_crash_mid_compaction_keeps_old_manifest(tmp_path):
     recovered.close()
 
 
+def test_crash_after_rename_before_manifest_not_adopted(tmp_path):
+    """The second compaction crash window: output already renamed into
+    place, manifest not yet republished.  The stranded compact-*.seg
+    must be swept on reopen — never adopted behind newer operations —
+    so deletes stay deleted and a retry still converges."""
+    root = tmp_path / "db"
+    db = open_db(root, seal_bytes=128)
+    for i in range(40):
+        db["runs"].insert_one({"_id": f"r{i}", "pad": "x" * 24})
+    rules = [
+        chaos.FaultRule("compact.manifest", action="crash", times=1)
+    ]
+    with chaos.injected(seed=21, rules=rules):
+        with pytest.raises(WorkerCrashed):
+            db.compact()
+    # Acknowledged ops newer than the aborted merge's snapshot.
+    for i in range(0, 40, 2):
+        db["runs"].delete_one({"_id": f"r{i}"})
+    db["runs"].update_one({"_id": "r1"}, {"$set": {"pad": "updated"}})
+    db.close()
+    recovered = open_db(root, seal_bytes=128)
+    assert recovered["runs"].count() == 20
+    assert recovered["runs"].find_one({"_id": "r2"}) is None
+    assert recovered["runs"].find_one({"_id": "r1"})["pad"] == "updated"
+    engine_dir = root / "engine" / "runs"
+    stranded = [
+        name
+        for name in os.listdir(engine_dir)
+        if name.startswith("compact-")
+    ]
+    assert not stranded  # swept as unreferenced, not adopted
+    # A clean retry finishes what the crash interrupted.
+    results = recovered.compact()
+    assert results["runs"]["merged"] >= 2
+    assert recovered["runs"].count() == 20
+    recovered.close()
+
+
 def test_background_compactor_survives_injected_faults(tmp_path):
     root = tmp_path / "db"
     db = open_db(root, seal_bytes=128)

@@ -9,6 +9,7 @@ from repro.common.errors import ValidationError
 from repro.db import Database, connect
 from repro.db.engine import StorageEngine
 from repro.db.engine.segments import CollectionStore
+from repro.db.engine.wal import encode_record
 
 NO_COMPACT = {"auto_compact": False}
 
@@ -204,6 +205,58 @@ def test_orphan_sealed_segment_is_adopted(tmp_path):
     reopened.close()
 
 
+def test_stranded_compaction_output_is_swept_not_adopted(tmp_path):
+    """A compacted snapshot left between its rename and the manifest
+    write must never be adopted as a seal orphan: it reflects state as
+    of merge *start*, so appending it to the manifest would replay it
+    after newer sealed ops and resurrect deletes / revert updates."""
+    store = CollectionStore(str(tmp_path), "c", durability="strict")
+    for i in range(4):
+        store.log_insert({"_id": f"r{i}"})
+    store.seal()  # segment-00000001
+    store.log_insert({"_id": "r4"})
+    store.seal()  # segment-00000002
+    # Merge-start snapshot of those two segments: every doc alive.
+    snapshot = b"".join(
+        encode_record({"op": "insert", "doc": {"_id": f"r{i}"}})
+        for i in range(5)
+    )
+    # Newer acknowledged ops, sealed while the merge was running.
+    store.log_delete("r0")
+    store.log_replace({"_id": "r1", "v": 2})
+    store.seal()  # segment-00000003
+    store.close()
+    # Crash landed after compaction renamed its output into place but
+    # before the manifest republish: the file exists under next_seq,
+    # unreferenced — in the compact-* namespace, never segment-*.
+    stranded = os.path.join(store.dir, "compact-00000004.seg")
+    with open(stranded, "wb") as handle:
+        handle.write(snapshot)
+    reopened = CollectionStore(str(tmp_path), "c", durability="strict")
+    docs, _, _ = reopened.load()
+    assert "r0" not in docs  # delete not resurrected
+    assert docs["r1"] == {"_id": "r1", "v": 2}  # update not reverted
+    assert not os.path.exists(stranded)  # swept, not adopted
+    reopened.close()
+
+
+def test_compaction_output_lives_in_compact_namespace(tmp_path):
+    """Published merges are compact-*.seg; orphan adoption only ever
+    recognises segment-*, so the two can never be confused."""
+    store = CollectionStore(str(tmp_path), "c", durability="none")
+    store.log_insert({"_id": "a"})
+    store.seal()
+    store.log_insert({"_id": "b"})
+    store.seal()
+    result = store.compact()
+    assert result["segment"].startswith("compact-")
+    store.close()
+    reopened = CollectionStore(str(tmp_path), "c", durability="none")
+    docs, _, _ = reopened.load()
+    assert set(docs) == {"a", "b"}
+    reopened.close()
+
+
 def test_stale_unreferenced_segments_are_swept(tmp_path):
     store = CollectionStore(str(tmp_path), "c", durability="none")
     store.log_insert({"_id": "a"})
@@ -233,11 +286,49 @@ def test_legacy_jsonl_imported_once(tmp_path):
     assert db["runs"].count() == 2
     db["runs"].insert_one({"_id": "new1"})
     db.close()
-    # Second open replays the engine; the stale jsonl must NOT
+    # A completed import renames the legacy file aside as its marker.
+    assert not (root / "runs.jsonl").exists()
+    assert (root / "runs.jsonl.imported").exists()
+    # Second open replays the engine; the consumed jsonl must NOT
     # double-import (which would raise DuplicateError or double count).
     again = Database("test", root=str(root), engine_options=NO_COMPACT)
     assert again["runs"].count() == 3
     again.close()
+
+
+def test_crashed_partial_import_is_redone(tmp_path):
+    """Engine state next to a still-named .jsonl means the previous
+    import crashed partway: the partial state is discarded and the
+    import redone in full, not silently left half-migrated."""
+    root = tmp_path / "db"
+    root.mkdir()
+    partial = Database("test", root=str(root), engine_options=NO_COMPACT)
+    partial["runs"].insert_one({"_id": "legacy1", "n": 1})
+    partial.close()
+    # The legacy file a crashed import never renamed away — including
+    # the doc the partial state already holds.
+    with open(root / "runs.jsonl", "w", encoding="utf-8") as handle:
+        handle.write('{"_id": "legacy1", "n": 1}\n')
+        handle.write('{"_id": "legacy2", "n": 2}\n')
+        handle.write('{"_id": "legacy3", "n": 3}\n')
+    db = Database("test", root=str(root), engine_options=NO_COMPACT)
+    assert db["runs"].count() == 3  # nothing skipped, no DuplicateError
+    assert db["runs"].find_one({"_id": "legacy3"})["n"] == 3
+    assert not (root / "runs.jsonl").exists()
+    assert (root / "runs.jsonl.imported").exists()
+    db.close()
+
+
+def test_drop_collection_removes_imported_marker(tmp_path):
+    root = tmp_path / "db"
+    root.mkdir()
+    with open(root / "runs.jsonl", "w", encoding="utf-8") as handle:
+        handle.write('{"_id": "a"}\n')
+    db = Database("test", root=str(root), engine_options=NO_COMPACT)
+    assert (root / "runs.jsonl.imported").exists()
+    db.drop_collection("runs")
+    assert not (root / "runs.jsonl.imported").exists()
+    db.close()
 
 
 # ---------------------------------------------------------------- misc

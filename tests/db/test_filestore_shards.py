@@ -2,7 +2,10 @@
 
 import os
 
+import pytest
+
 from repro import telemetry
+from repro.common.errors import ValidationError
 from repro.common.hashing import sha256_bytes
 from repro.db.filestore import FileStore
 
@@ -80,6 +83,57 @@ def test_memory_put_file_streams(tmp_path):
     store = FileStore(None)
     digest = store.put_file(str(source))
     assert store.get_bytes(digest) == b"in-memory streaming"
+
+
+# ------------------------------------------------------------- validation
+
+
+def test_digest_validation_blocks_path_traversal(tmp_path):
+    store = FileStore(str(tmp_path))
+    evil = "../engine/runs/MANIFEST.json"
+    for call in (
+        store.get_bytes,
+        store.delete,
+        store.exists,
+        store.metadata,
+    ):
+        with pytest.raises(ValidationError):
+            call(evil)
+
+
+def test_digest_validation_requires_sha256_hex(tmp_path):
+    store = FileStore(str(tmp_path))
+    for bogus in ("abc", "G" * 64, "A" * 64, "0" * 63, ""):
+        with pytest.raises(ValidationError):
+            store.get_bytes(bogus)
+    memory = FileStore(None)
+    with pytest.raises(ValidationError):
+        memory.exists("../../etc/passwd")
+
+
+# ------------------------------------------------------------- tmp sweep
+
+
+def test_stale_tmp_files_swept_on_open(tmp_path):
+    store = FileStore(str(tmp_path))
+    digest = store.put_bytes(b"keep me")
+    # What a process killed mid-put leaves behind.
+    (tmp_path / "ingest-dead00.tmp").write_bytes(b"half a disk image")
+    (tmp_path / digest[:2] / "deadbeef.tmp").write_bytes(b"partial")
+    reopened = FileStore(str(tmp_path))
+    assert not (tmp_path / "ingest-dead00.tmp").exists()
+    assert not (tmp_path / digest[:2] / "deadbeef.tmp").exists()
+    assert reopened.get_bytes(digest) == b"keep me"
+
+
+def test_scrub_sweeps_stale_tmp(tmp_path):
+    store = FileStore(str(tmp_path))
+    good = store.put_bytes(b"healthy")
+    (tmp_path / "ingest-dead00.tmp").write_bytes(b"junk")
+    report = store.scrub()
+    assert report["tmp_swept"] == 1
+    assert not (tmp_path / "ingest-dead00.tmp").exists()
+    assert store.get_bytes(good) == b"healthy"
 
 
 # ------------------------------------------------------------------ scrub

@@ -1,0 +1,194 @@
+"""Microbenchmark: admission-control overhead and overload isolation.
+
+Two questions, answered with the same bounded scheduler app:
+
+- **Throughput** — how many submissions/second does the admission path
+  (breaker check, token bucket, quota ledger, bounded publish) sustain
+  end-to-end?  The layer must be bookkeeping, not a bottleneck.
+- **Isolation** — the paper-level claim of the admission design: p99
+  interactive latency under a 10x-queue-bound bulk flood must stay
+  within a bounded factor of the unloaded p99.  Without admission the
+  flood parks interactive work behind an unbounded bulk backlog; with
+  it, displacement keeps at most ``QUEUE_LIMIT`` messages ahead of any
+  interactive submission.
+
+Run as a script (deliberately not named ``test_*``):
+
+    PYTHONPATH=src python benchmarks/bench_admission.py
+
+Writes ``BENCH_admission.json`` and exits 1 when the flood p99 exceeds
+``max(BOUNDED_FACTOR * unloaded p99, ABSOLUTE_FLOOR_SECONDS)`` — the
+factor carries the claim, the absolute floor keeps tiny unloaded p99s
+on fast hosts from turning scheduler-tick noise into a failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+from repro.scheduler import AdmissionRejected, SchedulerApp
+
+QUEUE_LIMIT = 16
+WORKERS = 2
+THROUGHPUT_SUBMISSIONS = 400
+LATENCY_SAMPLES = 60
+
+#: Flood p99 may be at most this factor above the unloaded p99 ...
+BOUNDED_FACTOR = 50.0
+#: ... or this many seconds, whichever is larger (CI-noise guard).
+ABSOLUTE_FLOOR_SECONDS = 0.5
+
+
+def small_work(value: int) -> int:
+    return sum(range(300)) + value
+
+
+def p99(samples) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(len(ordered) * 0.99))
+    return ordered[index]
+
+
+def bench_throughput() -> dict:
+    """Sustained accepted-submissions/sec through the admission path."""
+    app = SchedulerApp(name="bench-admit-tp", worker_count=WORKERS)
+
+    @app.task(name="bench.tp")
+    def tp_task(value):
+        return small_work(value)
+
+    try:
+        started = time.perf_counter()
+        handles = [
+            tp_task.apply_async(args=(index,), priority="default")
+            for index in range(THROUGHPUT_SUBMISSIONS)
+        ]
+        submit_seconds = time.perf_counter() - started
+        app.drain(timeout=120)
+        total_seconds = time.perf_counter() - started
+        assert all(
+            handle.get(timeout=5) == small_work(index)
+            for index, handle in enumerate(handles)
+        )
+    finally:
+        app.shutdown()
+    return {
+        "submissions": THROUGHPUT_SUBMISSIONS,
+        "submit_seconds": round(submit_seconds, 4),
+        "accepted_per_second": round(
+            THROUGHPUT_SUBMISSIONS / submit_seconds
+        ),
+        "end_to_end_seconds": round(total_seconds, 4),
+    }
+
+
+def sample_interactive_latency(app, task, flooding) -> list:
+    """Submit-to-result latency of serial interactive submissions."""
+    samples = []
+    for index in range(LATENCY_SAMPLES):
+        started = time.perf_counter()
+        handle = task.apply_async(args=(index,), priority="interactive")
+        handle.get(timeout=30)
+        samples.append(time.perf_counter() - started)
+        if flooding is not None and flooding.is_set():
+            break
+    return samples
+
+
+def bench_latency() -> dict:
+    """p99 interactive latency, unloaded vs under a 10xQ bulk flood."""
+    app = SchedulerApp(
+        name="bench-admit-lat",
+        worker_count=WORKERS,
+        queue_limit=QUEUE_LIMIT,
+    )
+
+    @app.task(name="bench.lat")
+    def lat_task(value):
+        return small_work(value)
+
+    try:
+        base = sample_interactive_latency(app, lat_task, flooding=None)
+        app.drain(timeout=60)
+
+        stop_flood = threading.Event()
+        flood_counts = {"accepted": 0, "rejected": 0}
+
+        def flood():
+            while not stop_flood.is_set():
+                for _ in range(10 * QUEUE_LIMIT):
+                    try:
+                        lat_task.apply_async(
+                            args=(0,), priority="bulk"
+                        )
+                        flood_counts["accepted"] += 1
+                    except AdmissionRejected:
+                        flood_counts["rejected"] += 1
+                time.sleep(0.001)
+
+        flooder = threading.Thread(target=flood, daemon=True)
+        flooder.start()
+        try:
+            flooded = sample_interactive_latency(
+                app, lat_task, flooding=None
+            )
+        finally:
+            stop_flood.set()
+            flooder.join(timeout=10)
+        app.drain(timeout=120)
+    finally:
+        app.shutdown()
+    return {
+        "samples": LATENCY_SAMPLES,
+        "p99_unloaded_seconds": round(p99(base), 5),
+        "p99_flooded_seconds": round(p99(flooded), 5),
+        "flood_accepted": flood_counts["accepted"],
+        "flood_rejected": flood_counts["rejected"],
+    }
+
+
+def main() -> int:
+    throughput = bench_throughput()
+    latency = bench_latency()
+    allowed = max(
+        BOUNDED_FACTOR * latency["p99_unloaded_seconds"],
+        ABSOLUTE_FLOOR_SECONDS,
+    )
+    report = {
+        "benchmark": "admission",
+        "queue_limit": QUEUE_LIMIT,
+        "workers": WORKERS,
+        "throughput": throughput,
+        "latency": latency,
+        "bounded_factor": BOUNDED_FACTOR,
+        "absolute_floor_seconds": ABSOLUTE_FLOOR_SECONDS,
+        "p99_flooded_allowed_seconds": round(allowed, 5),
+    }
+    with open("BENCH_admission.json", "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if latency["p99_flooded_seconds"] > allowed:
+        print(
+            f"FAIL: flooded p99 {latency['p99_flooded_seconds']}s "
+            f"exceeds bound {allowed}s "
+            f"({BOUNDED_FACTOR}x unloaded p99 or "
+            f"{ABSOLUTE_FLOOR_SECONDS}s floor)"
+        )
+        return 1
+    if latency["flood_rejected"] == 0:
+        print("FAIL: bulk flood never saturated the queue bound")
+        return 1
+    print(
+        "OK: flooded interactive p99 "
+        f"{latency['p99_flooded_seconds']}s within {allowed}s bound; "
+        f"{throughput['accepted_per_second']} accepted submissions/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -190,6 +190,8 @@ class Experiment:
         resume: bool = False,
         use_cache: bool = True,
         substrate: str = "threads",
+        tenant: str = "default",
+        priority: str = "default",
     ) -> List[Dict[str, Any]]:
         """Execute every run via the chosen backend and return summaries.
 
@@ -211,6 +213,11 @@ class Experiment:
         execute: ``"threads"`` in-process, ``"processes"`` sharded
         across OS worker processes for real CPU parallelism
         (the CLI's ``--substrate processes``).
+
+        ``tenant``/``priority`` (scheduler backend only) are the
+        admission-control coordinates the campaign submits under: an
+        interactive debug sweep can jump the queue ahead of a bulk
+        cross product, and a shared service can meter each tenant.
         """
         if self._runs is None:
             self.create_runs()
@@ -227,6 +234,8 @@ class Experiment:
             phase="launch",
             use_cache=use_cache,
             substrate=substrate,
+            tenant=tenant,
+            priority=priority,
         )
 
     def resume(
@@ -236,6 +245,8 @@ class Experiment:
         retry_failures: bool = False,
         use_cache: bool = True,
         substrate: str = "threads",
+        tenant: str = "default",
+        priority: str = "default",
     ) -> List[Dict[str, Any]]:
         """Re-launch only the runs an interrupted campaign still owes.
 
@@ -262,6 +273,8 @@ class Experiment:
             phase="resume",
             use_cache=use_cache,
             substrate=substrate,
+            tenant=tenant,
+            priority=priority,
         )
 
     def pending_runs(self, retry_failures: bool = False) -> List[str]:
@@ -286,6 +299,8 @@ class Experiment:
         phase: str,
         use_cache: bool = True,
         substrate: str = "threads",
+        tenant: str = "default",
+        priority: str = "default",
     ) -> List[Dict[str, Any]]:
         if backend not in ("pool", "scheduler", "inline"):
             raise ValidationError(
@@ -335,6 +350,8 @@ class Experiment:
                         worker_count=workers,
                         use_cache=use_cache,
                         substrate=substrate,
+                        tenant=tenant,
+                        priority=priority,
                     )
                 else:
                     for run in pending:

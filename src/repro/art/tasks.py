@@ -15,6 +15,8 @@ from repro.art.cache import RunCache
 from repro.art.run import Gem5Run
 from repro.common.errors import ValidationError
 from repro.scheduler import (
+    AdmissionController,
+    AdmissionRejected,
     ProcessPool,
     RetryPolicy,
     SchedulerApp,
@@ -65,6 +67,10 @@ def run_jobs_scheduler(
     retry_policy: Optional[RetryPolicy] = None,
     use_cache: bool = True,
     substrate: str = "threads",
+    tenant: str = "default",
+    priority: str = "default",
+    queue_limit: Optional[int] = None,
+    admission: Optional[AdmissionController] = None,
 ) -> List[Dict[str, object]]:
     """Execute runs through the Celery-like scheduler app.
 
@@ -93,6 +99,15 @@ def run_jobs_scheduler(
     parallelism.  Dedup, coalescing, caching and every database write
     stay in the parent either way — only simulations cross the process
     boundary.
+
+    ``tenant``/``priority`` are the admission coordinates every job is
+    submitted under (a campaign typically submits as one tenant at one
+    priority); ``queue_limit``/``admission`` opt the underlying app into
+    bounded-queue overload protection.  Admission happens in the parent
+    broker on *both* substrates.  A job refused by admission is not an
+    exception here: its summary reports ``admission_rejected`` with the
+    structured ``retry_after``, because a rejected point — like a timed
+    out one — is a recorded outcome for the database.
     """
     if substrate not in ("threads", "processes"):
         raise ValidationError(
@@ -104,7 +119,12 @@ def run_jobs_scheduler(
         if substrate == "processes"
         else None
     )
-    app = SchedulerApp(name="gem5art", worker_count=worker_count)
+    app = SchedulerApp(
+        name="gem5art",
+        worker_count=worker_count,
+        queue_limit=queue_limit,
+        admission=admission,
+    )
 
     @app.task(name="gem5art.run_gem5_job", retry_policy=retry_policy)
     def run_gem5_job(index: int):
@@ -116,17 +136,26 @@ def run_jobs_scheduler(
         handles = []
         leaders: Dict[str, str] = {}
         followers: List[bool] = []
+        rejections: Dict[int, AdmissionRejected] = {}
         for index in range(len(runs)):
             dedup_key = (
                 runs[index].fingerprint
                 if use_cache and runs[index].fingerprint
                 else None
             )
-            handle = run_gem5_job.apply_async(
-                args=(index,),
-                timeout=timeout_per_job or runs[index].timeout,
-                dedup_key=dedup_key,
-            )
+            try:
+                handle = run_gem5_job.apply_async(
+                    args=(index,),
+                    timeout=timeout_per_job or runs[index].timeout,
+                    dedup_key=dedup_key,
+                    tenant=tenant,
+                    priority=priority,
+                )
+            except AdmissionRejected as rejection:
+                rejections[index] = rejection
+                handles.append(None)
+                followers.append(False)
+                continue
             coalesced = (
                 dedup_key is not None
                 and leaders.get(dedup_key) is not None
@@ -144,6 +173,20 @@ def run_jobs_scheduler(
             followers.append(coalesced)
         summaries: List[Dict[str, object]] = []
         for index, handle in enumerate(handles):
+            if handle is None:
+                rejection = rejections[index]
+                summaries.append(
+                    {
+                        "success": False,
+                        "admission_rejected": True,
+                        "reason": rejection.reason,
+                        "retry_after": rejection.retry_after,
+                        "parked": rejection.parked,
+                        "error": str(rejection),
+                        "run_id": runs[index].run_id,
+                    }
+                )
+                continue
             state = app.backend.wait(handle.task_id)
             if state is TaskState.SUCCESS:
                 summary = handle.get()

@@ -15,10 +15,16 @@ experiments without writing a launch script:
   hash; an artifact hash cascades to every dependent cached run);
 - ``db stats|compact|scrub|recover`` — storage-engine maintenance:
   per-collection segment/WAL shape, forced segment compaction, blob
-  re-verification with quarantine, and a crash-recovery report.
+  re-verification with quarantine, and a crash-recovery report;
+- ``admit stats|limits`` — admission control: ``limits`` prints the
+  effective per-tenant limits an app would run with; ``stats`` drives a
+  seeded mixed-priority overload demo through a bounded app and prints
+  the accept/reject/shed ledger, queue depths, and breaker states.
 
 ``boot-tests`` and ``resume`` accept ``--cache``/``--no-cache`` to control
-whether runs may adopt memoized results instead of simulating.
+whether runs may adopt memoized results instead of simulating, and
+``--tenant``/``--priority`` to choose the admission coordinates the
+campaign submits under.
 """
 
 from __future__ import annotations
@@ -78,6 +84,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_substrate_flag(boot)
     _add_cache_flags(boot)
+    _add_admission_flags(boot)
 
     parsec = commands.add_parser(
         "parsec", help="run the Fig 6/7 PARSEC OS study"
@@ -125,6 +132,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_substrate_flag(resume)
     _add_cache_flags(resume)
+    _add_admission_flags(resume)
+
+    admit = commands.add_parser(
+        "admit",
+        help="admission control: effective limits, or a seeded "
+        "overload demo with decision accounting",
+    )
+    admit.add_argument(
+        "action", choices=("stats", "limits"),
+        help="limits: print the effective admission configuration; "
+        "stats: flood a bounded app with seeded mixed-priority "
+        "submissions and print the accept/reject/shed ledger",
+    )
+    admit.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="broker queue bound (resident messages, all levels)",
+    )
+    admit.add_argument(
+        "--rate", type=float, default=None,
+        help="per-tenant sustained submissions/second (token bucket)",
+    )
+    admit.add_argument(
+        "--burst", type=float, default=None,
+        help="token-bucket burst capacity (default: the rate)",
+    )
+    admit.add_argument(
+        "--max-queued", type=int, default=None,
+        help="per-tenant backlog quota",
+    )
+    admit.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="per-tenant concurrent-execution quota",
+    )
+    admit.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive dead-letters before a task name's circuit "
+        "breaker opens",
+    )
+    admit.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the demo's tenant/priority mix and all backoff "
+        "jitter (identical seeds produce identical decision sequences)",
+    )
+    admit.add_argument(
+        "--flood", type=int, default=200,
+        help="submissions the stats demo drives through the app",
+    )
+    admit.add_argument("--workers", type=int, default=2)
 
     cache = commands.add_parser(
         "cache",
@@ -225,6 +280,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "cache": _cmd_cache,
         "db": _cmd_db,
+        "admit": _cmd_admit,
     }[args.command]
     return handler(args)
 
@@ -237,6 +293,21 @@ def _add_substrate_flag(subparser) -> None:
         help="where scheduler-backend simulations execute: in-process "
         "worker threads (default) or OS worker processes for real CPU "
         "parallelism",
+    )
+
+
+def _add_admission_flags(subparser) -> None:
+    """``--tenant`` / ``--priority`` admission coordinates."""
+    subparser.add_argument(
+        "--tenant", default="default",
+        help="admission tenant the campaign's submissions are "
+        "charged to (quota ledger and rate bucket)",
+    )
+    subparser.add_argument(
+        "--priority", default="default",
+        choices=("interactive", "default", "bulk"),
+        help="queue lane: interactive jumps ahead of default, bulk is "
+        "shed first under overload",
     )
 
 
@@ -360,6 +431,8 @@ def _cmd_boot_tests_experiment(args) -> int:
             workers=args.workers,
             use_cache=args.use_cache,
             substrate=args.substrate,
+            tenant=args.tenant,
+            priority=args.priority,
         )
         counts = collections.Counter(
             (s or {}).get("simulation_status", "failed")
@@ -561,6 +634,8 @@ def _cmd_resume(args) -> int:
             retry_failures=args.retry_failures,
             use_cache=args.use_cache,
             substrate=args.substrate,
+            tenant=args.tenant,
+            priority=args.priority,
         )
     except ReproError as error:
         print(f"error: {error}")
@@ -723,6 +798,103 @@ def _cmd_db(args) -> int:
         return 0
     finally:
         db.close()
+
+
+def _cmd_admit(args) -> int:
+    """Admission-control inspection: effective limits, or a seeded
+    overload demo whose decision ledger is printed for triage."""
+    from repro.common.rng import RngStream
+    from repro.scheduler import (
+        AdmissionController,
+        AdmissionRejected,
+        SchedulerApp,
+        TenantLimits,
+    )
+
+    limits = TenantLimits(
+        rate=args.rate,
+        burst=args.burst,
+        max_queued=args.max_queued,
+        max_inflight=args.max_inflight,
+    )
+    if args.action == "limits":
+        table = TextTable(["setting", "value"])
+        table.add_row(["queue_limit", str(args.queue_limit)])
+        table.add_row(["rate (submissions/s)", str(limits.rate or "unlimited")])
+        table.add_row(
+            ["burst", str(limits.burst or limits.rate or "unlimited")]
+        )
+        table.add_row(["max_queued", str(limits.max_queued or "unlimited")])
+        table.add_row(
+            ["max_inflight", str(limits.max_inflight or "unlimited")]
+        )
+        table.add_row(["breaker_threshold", str(args.breaker_threshold)])
+        table.add_row(["seed", str(args.seed)])
+        print(table.render())
+        print(
+            "\npriorities: interactive > default > bulk "
+            "(bulk shed first under overload)"
+        )
+        return 0
+
+    admission = AdmissionController(
+        default_limits=limits,
+        breaker_threshold=args.breaker_threshold,
+        seed=args.seed,
+    )
+    app = SchedulerApp(
+        name="admit-demo",
+        worker_count=args.workers,
+        queue_limit=args.queue_limit,
+        admission=admission,
+    )
+
+    @app.task(name="admit.demo")
+    def demo_task(index: int) -> int:
+        return sum(range(200)) + index
+
+    mix = RngStream(args.seed, "admit", "demo")
+    tenants = ("alice", "bob", "carol")
+    outcomes = {"accepted": 0, "rejected": 0}
+    try:
+        for index in range(args.flood):
+            tenant = mix.choice(tenants)
+            priority = mix.choice(("interactive", "default", "bulk"))
+            try:
+                demo_task.apply_async(
+                    args=(index,), tenant=tenant, priority=priority
+                )
+                outcomes["accepted"] += 1
+            except AdmissionRejected:
+                outcomes["rejected"] += 1
+        app.drain(timeout=60.0)
+    finally:
+        app.shutdown()
+    stats = admission.stats()
+    table = TextTable(["measure", "count"])
+    table.add_row(["submissions", str(args.flood)])
+    table.add_row(["accepted", str(outcomes["accepted"])])
+    table.add_row(["rejected", str(outcomes["rejected"])])
+    for reason, count in sorted(stats["rejected_by_reason"].items()):
+        table.add_row([f"  rejected: {reason}", str(count)])
+    table.add_row(["shed", str(stats["outcomes"].get("shed", 0))])
+    table.add_row(["overflow parked", str(stats["overflow"])])
+    print(table.render())
+    depth = app.broker.queue_depth()
+    print(
+        "\nqueue depth after drain: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(depth.items()))
+    )
+    if stats["breakers"]:
+        print(
+            "breakers: "
+            + ", ".join(
+                f"{name}={state}"
+                for name, state in sorted(stats["breakers"].items())
+            )
+        )
+    print(f"decisions logged: {stats['decisions']} (seed {args.seed})")
+    return 0
 
 
 def _cmd_lint(args) -> int:

@@ -21,6 +21,16 @@ from repro.scheduler.states import TaskState
 from repro.scheduler.result import AsyncResult, ResultBackend
 from repro.scheduler.retry import RetryPolicy, TaskOutcome
 from repro.scheduler.lease import DEFAULT_LEASE_TTL, Lease, LeaseManager
+from repro.scheduler.admission import (
+    PRIORITIES,
+    AdmissionController,
+    AdmissionRejected,
+    CircuitBreaker,
+    LeveledQueue,
+    OverflowRecord,
+    TenantLimits,
+    TokenBucket,
+)
 from repro.scheduler.broker import Broker, TaskMessage
 from repro.scheduler.app import SchedulerApp
 from repro.scheduler.pool import PoolResult, SimplePool
@@ -39,6 +49,14 @@ from repro.scheduler.batch import (
 )
 
 __all__ = [
+    "PRIORITIES",
+    "AdmissionController",
+    "AdmissionRejected",
+    "CircuitBreaker",
+    "LeveledQueue",
+    "OverflowRecord",
+    "TenantLimits",
+    "TokenBucket",
     "TaskState",
     "AsyncResult",
     "ResultBackend",

@@ -17,6 +17,17 @@ Resilience model (see ``docs/robustness.md``):
   parked in the result backend's **dead-letter** record.
 - Helper threads abandoned by timed-out tasks are tracked (the
   ``scheduler_leaked_threads`` gauge) and capped.
+
+Overload model (also ``docs/robustness.md``): every submission passes
+the app's :class:`~repro.scheduler.admission.AdmissionController`
+(circuit breaker, per-tenant rate/quota) before it may enter the
+broker's bounded leveled queue.  At the bound, an interactive or
+default submission displaces the newest queued bulk message (which is
+shed into the overflow log); a bulk submission is rejected with a
+structured ``retry_after`` and parked for replay.  The default
+controller is fully permissive and the default queue unbounded, so a
+plain ``SchedulerApp()`` behaves exactly as before admission control
+existed.
 """
 
 from __future__ import annotations
@@ -24,10 +35,17 @@ from __future__ import annotations
 import threading
 import time
 import traceback
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import chaos
 from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.scheduler.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    BULK_LEVEL,
+    OverflowRecord,
+    priority_level,
+)
 from repro.scheduler.broker import Broker, TaskMessage
 from repro.scheduler.lease import DEFAULT_LEASE_TTL
 from repro.scheduler.result import AsyncResult, ResultBackend
@@ -74,6 +92,8 @@ class RegisteredTask:
         kwargs: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
         dedup_key: Optional[str] = None,
+        tenant: str = "default",
+        priority: str = "default",
     ) -> AsyncResult:
         """Enqueue an invocation; returns the result handle immediately.
 
@@ -81,6 +101,11 @@ class RegisteredTask:
         invocation with the same key is already in flight, no new task
         is enqueued and the returned handle subscribes to the in-flight
         leader's result.
+
+        ``tenant``/``priority`` are the admission coordinates: whose
+        quota the submission charges and which queue lane it waits in.
+        Raises :class:`~repro.scheduler.admission.AdmissionRejected`
+        (with ``retry_after``) when the admission controller refuses.
         """
         return self.app.send_task(
             self.name,
@@ -90,6 +115,8 @@ class RegisteredTask:
             max_retries=self.max_retries,
             retry_policy=self.retry_policy,
             dedup_key=dedup_key,
+            tenant=tenant,
+            priority=priority,
         )
 
 
@@ -104,6 +131,8 @@ class SchedulerApp:
         max_redeliveries: int = DEFAULT_MAX_REDELIVERIES,
         max_leaked_threads: int = DEFAULT_MAX_LEAKED_THREADS,
         respawn_workers: bool = True,
+        queue_limit: Optional[int] = None,
+        admission: Optional[AdmissionController] = None,
     ):
         if worker_count < 1:
             raise ValidationError("worker_count must be >= 1")
@@ -112,7 +141,12 @@ class SchedulerApp:
                 "max_redeliveries must be >= 0 and max_leaked_threads >= 1"
             )
         self.name = name
-        self.broker = Broker(lease_ttl=lease_ttl)
+        self.broker = Broker(lease_ttl=lease_ttl, queue_limit=queue_limit)
+        # The default controller is fully permissive (no rates, no
+        # quotas, breaker disabled) so a plain app keeps its historical
+        # accept-everything behaviour; pass an AdmissionController to
+        # opt into overload protection.
+        self.admission = admission or AdmissionController()
         self.backend = ResultBackend()
         self.worker_count = worker_count
         self.max_redeliveries = max_redeliveries
@@ -126,6 +160,10 @@ class SchedulerApp:
         self._stop = threading.Event()
         self._started = False
         self._lock = threading.Lock()
+        # Serializes decide -> (displace | reject) -> publish, so the
+        # queue bound is a hard invariant: concurrent submitters cannot
+        # both pass the capacity check and overshoot the limit.
+        self._admission_lock = threading.Lock()
         self._leak_lock = threading.Lock()
         self._leaked: list = []
         # Submitted-but-not-finished count; drain() sleeps on the
@@ -182,9 +220,23 @@ class SchedulerApp:
         max_retries: int = 0,
         retry_policy: Optional[RetryPolicy] = None,
         dedup_key: Optional[str] = None,
+        tenant: str = "default",
+        priority: str = "default",
     ) -> AsyncResult:
+        """Admit and enqueue one invocation.
+
+        Order of gates: single-flight coalescing first (a follower
+        enqueues nothing and is free, so dedup stays cross-tenant),
+        then the admission controller (breaker / rate / quota), then
+        queue capacity — where an urgent submission may displace the
+        newest queued bulk message instead of being refused.  Raises
+        :class:`AdmissionRejected` with ``retry_after`` when refused.
+        """
         if name not in self._tasks:
             raise NotFoundError(f"no task registered as {name!r}")
+        if not tenant:
+            raise ValidationError("tenant must be a non-empty string")
+        level = priority_level(priority)
         message = TaskMessage(
             task_name=name,
             args=tuple(args),
@@ -196,6 +248,8 @@ class SchedulerApp:
             retry_policy=retry_policy,
             trace_context=get_tracer().current_context_dict(),
             dedup_key=dedup_key,
+            tenant=tenant,
+            priority=priority,
         )
         if dedup_key is not None:
             leader = self.broker.singleflight.acquire(
@@ -204,6 +258,7 @@ class SchedulerApp:
             if leader is not None:
                 # Coalesce: the follower's handle subscribes to the
                 # leader's result; nothing new enters the queue.
+                self.admission.note_coalesced(message)
                 get_metrics().counter(
                     "scheduler_coalesced_total",
                     "Submissions coalesced onto an in-flight "
@@ -216,19 +271,109 @@ class SchedulerApp:
                     leader_task_id=leader,
                 )
                 return AsyncResult(leader, self.backend)
-        self.backend.create(message.task_id)
+        try:
+            with self._admission_lock:
+                self.admission.decide(message)
+                if not self.broker.has_capacity():
+                    self._make_room_or_reject(message, level)
+                self.backend.create(message.task_id)
+                with self._idle:
+                    self._inflight += 1
+                # Capacity was secured under the admission lock (only
+                # workers consume concurrently, which frees space), so
+                # this force-publish cannot overshoot the bound.
+                self.broker.publish(message, force=True)
+                self.admission.note_accepted(message)
+        except AdmissionRejected:
+            self.broker.singleflight.release(dedup_key, message.task_id)
+            raise
         get_metrics().counter(
             "scheduler_tasks_submitted_total",
             "Tasks accepted by the scheduler app",
         ).inc(app=self.name)
-        with self._idle:
-            self._inflight += 1
-        self.broker.publish(message)
         self._ensure_started()
         return AsyncResult(message.task_id, self.backend)
 
+    def _make_room_or_reject(
+        self, message: TaskMessage, level: int
+    ) -> None:
+        """Resolve a saturated queue: shed bulk-priority work first.
+
+        An interactive/default submission displaces the newest queued
+        message of strictly lower urgency; when there is nothing to
+        displace (or the submission is itself bulk) the controller
+        rejects it — parking bulk submissions in the overflow log.
+        """
+        victim = (
+            self.broker.evict_lower(level) if level < BULK_LEVEL else None
+        )
+        if victim is None:
+            self.admission.reject_saturated(message)  # always raises
+        self._finish_shed_victim(victim)
+
+    def _finish_shed_victim(self, victim: TaskMessage) -> None:
+        """Settle a message evicted from the queue: terminal SHED state
+        (so its handle never hangs), overflow parking, ledger credit."""
+        try:
+            self.backend.transition(
+                victim.task_id,
+                TaskState.SHED,
+                error=(
+                    "shed under overload to admit higher-priority work; "
+                    "the submission is parked in the admission "
+                    "controller's overflow log"
+                ),
+            )
+        except (NotFoundError, StateError):  # pragma: no cover - racing
+            # The victim raced to a terminal state while being evicted;
+            # its in-flight accounting was settled by whoever won.
+            return
+        self.broker.singleflight.release(victim.dedup_key, victim.task_id)
+        self.broker.discard_revoked(victim.task_id)
+        self.admission.note_shed(victim)
+        self._task_done()
+
+    def replay_overflow(
+        self, limit: Optional[int] = None
+    ) -> List[AsyncResult]:
+        """Resubmit parked overflow records (FIFO), oldest first.
+
+        Each record passes admission again; records that are refused a
+        second time are re-parked/raised by the normal path, and this
+        method stops at the first refusal so the remaining backlog
+        stays queued for a later replay.
+        """
+        handles: List[AsyncResult] = []
+        for record in self.admission.pop_overflow(limit):
+            try:
+                handles.append(self._resubmit(record))
+            except AdmissionRejected:
+                break
+        return handles
+
+    def _resubmit(self, record: OverflowRecord) -> AsyncResult:
+        return self.send_task(
+            record.task_name,
+            args=record.args,
+            kwargs=record.kwargs,
+            timeout=record.timeout,
+            max_retries=record.max_retries,
+            retry_policy=record.retry_policy,
+            tenant=record.tenant,
+            priority=record.priority,
+        )
+
     def revoke(self, result: AsyncResult) -> None:
-        """Prevent a still-queued task from running."""
+        """Prevent a still-queued task from running.
+
+        Revoking an already-terminal task is a no-op — recording it
+        would leak a revocation mark nothing will ever prune.
+        """
+        try:
+            if self.backend.state(result.task_id).is_terminal:
+                return
+        except NotFoundError:
+            pass
         self.broker.revoke(result.task_id)
 
     # ------------------------------------------------------------- workers
@@ -262,6 +407,9 @@ class SchedulerApp:
             message = self.broker.consume(timeout=_POLL_INTERVAL)
             if message is None:
                 continue
+            if not self.admission.may_start(message):
+                self._defer_capped_message(message)
+                continue
             self.broker.leases.acquire(message, worker)
             try:
                 self._execute(message)
@@ -273,7 +421,19 @@ class SchedulerApp:
                 self._note_worker_death(worker, message, error)
                 return
             self.broker.leases.release(message.task_id)
-            self._task_done()
+            try:
+                self._finish_message(message)
+            except BaseException as error:
+                self._note_worker_death(worker, message, error)
+                return
+
+    def _defer_capped_message(self, message: TaskMessage) -> None:
+        """The tenant is at its max_inflight concurrency: put the
+        message back (tail of its lane) and briefly yield so the worker
+        doesn't spin on an un-startable head.  No lease is in play yet —
+        acquisition happens only after the dispatch gate admits."""
+        self.broker.publish(message, force=True)
+        self._stop.wait(self._heartbeat_interval)
 
     def _note_worker_death(
         self, worker: str, message: TaskMessage, error: BaseException
@@ -295,6 +455,20 @@ class SchedulerApp:
             if self._inflight <= 0:
                 self._idle.notify_all()
 
+    def _finish_message(self, message: TaskMessage) -> None:
+        """Settle a message that reached a terminal state: feed the
+        admission ledger/circuit breaker, then release the in-flight
+        count.  The ``finally`` keeps drain() safe even if the breaker's
+        ``breaker.trip`` chaos point injects a fault mid-accounting."""
+        try:
+            try:
+                state = self.backend.state(message.task_id).value
+            except NotFoundError:  # pragma: no cover - defensive
+                state = None
+            self.admission.note_terminal(message, state)
+        finally:
+            self._task_done()
+
     # ------------------------------------------------------------ execution
 
     def _task_in_flight(self, task_id: str) -> bool:
@@ -312,6 +486,10 @@ class SchedulerApp:
             self.broker.singleflight.release(
                 message.dedup_key, message.task_id
             )
+            # The revocation mark has done its job; prune it so a
+            # long-running service doesn't grow one set entry per
+            # revoked task forever.
+            self.broker.discard_revoked(message.task_id)
             return
         with get_tracer().span(
             "task",
@@ -547,17 +725,33 @@ class SchedulerApp:
                         ),
                     )
                     # The crashed workers never decremented the in-flight
-                    # count; parking the task finishes it.
+                    # count; parking the task finishes it (and feeds the
+                    # circuit breaker — crash redeliveries that exhaust
+                    # the budget count as dead-letters).
                     self.broker.singleflight.release(
                         message.dedup_key, message.task_id
                     )
-                    self._task_done()
+                    try:
+                        self._finish_message(message)
+                    except Exception as error:
+                        # A fault injected at the breaker.trip chaos
+                        # point must not kill the reaper thread — the
+                        # in-flight count was already settled by the
+                        # _finish_message finally block.
+                        get_event_log().emit(
+                            "reaper.finish_error",
+                            task_id=message.task_id,
+                            error=type(error).__name__,
+                        )
                 else:
                     if state is not TaskState.PENDING:
                         self.backend.transition(
                             message.task_id, TaskState.RETRY
                         )
-                    self.broker.publish(message)
+                    # Redelivery bypasses the queue bound: refusing a
+                    # reclaimed message would lose acknowledged work.
+                    self.broker.publish(message, force=True)
+                    self.admission.note_requeued(message)
             except StateError:
                 # Raced with a worker completing the task after all.
                 continue

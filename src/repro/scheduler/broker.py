@@ -1,21 +1,26 @@
-"""The message broker: a thread-safe FIFO of task messages.
+"""The message broker: a bounded, leveled queue of task messages.
 
 Celery's broker (RabbitMQ/Redis) reduces, for a single host, to a queue of
-serializable messages; this is that queue.  It also hosts the
-**single-flight registry**: tasks submitted with an identical ``dedup_key``
-while one is still in flight coalesce onto the first submission (the
-*leader*) instead of enqueuing duplicate work — followers simply subscribe
-to the leader's result.
+serializable messages; this is that queue.  Since the admission-control
+layer it is no longer an unbounded FIFO: messages live in a
+:class:`~repro.scheduler.admission.LeveledQueue` — three priority lanes
+(interactive > default > bulk, FIFO within a lane) under an optional
+total bound, so ``publish`` can refuse instead of letting a bulk flood
+grow memory without limit.  The broker also hosts the **single-flight
+registry**: tasks submitted with an identical ``dedup_key`` while one is
+still in flight coalesce onto the first submission (the *leader*)
+instead of enqueuing duplicate work — followers simply subscribe to the
+leader's result.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.common.ids import new_uuid
+from repro.scheduler.admission import LeveledQueue
 from repro.scheduler.lease import DEFAULT_LEASE_TTL, LeaseManager
 from repro.scheduler.retry import RetryPolicy
 
@@ -36,6 +41,11 @@ class TaskMessage:
     ``dedup_key`` opts the message into single-flight coalescing: while
     this message is in flight, later submissions carrying the same key
     are not enqueued at all — they receive this message's result handle.
+
+    ``tenant`` and ``priority`` are the admission-control coordinates:
+    which quota ledger/rate bucket the submission is charged to, and
+    which queue lane it waits in (``interactive`` > ``default`` >
+    ``bulk``; bulk is shed first under overload).
     """
 
     task_name: str
@@ -49,6 +59,8 @@ class TaskMessage:
     retry_policy: Optional[RetryPolicy] = None
     trace_context: Optional[Dict[str, str]] = None
     dedup_key: Optional[str] = None
+    tenant: str = "default"
+    priority: str = "default"
 
 
 class SingleFlight:
@@ -105,32 +117,59 @@ class SingleFlight:
 
 
 class Broker:
-    """FIFO delivery of task messages to workers, with leases.
+    """Leveled, bounded delivery of task messages to workers, with leases.
 
     ``leases`` tracks which worker currently holds each dequeued message;
     the scheduler's reaper re-publishes messages whose lease expired.
+    ``queue_limit`` caps total resident messages (None keeps the
+    historical unbounded behaviour); when full, ``publish`` returns
+    False and the admission layer decides whether to displace lower-
+    priority work or reject the submission.
     """
 
-    def __init__(self, lease_ttl: float = DEFAULT_LEASE_TTL):
-        self._queue: "queue.Queue[TaskMessage]" = queue.Queue()
+    def __init__(
+        self,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        queue_limit: Optional[int] = None,
+    ):
+        self._queue = LeveledQueue(limit=queue_limit)
         self._revoked = set()
         self._lock = threading.Lock()
         self.leases = LeaseManager(ttl=lease_ttl)
         self.singleflight = SingleFlight()
 
-    def publish(self, message: TaskMessage) -> None:
-        self._queue.put(message)
+    @property
+    def queue_limit(self) -> Optional[int]:
+        return self._queue.limit
+
+    def publish(self, message: TaskMessage, force: bool = False) -> bool:
+        """Enqueue into the message's priority lane.
+
+        Returns False when the queue is at its bound; ``force`` pushes
+        past the bound (redeliveries of reclaimed messages must never be
+        refused — losing an acknowledged task is worse than a transient
+        one-slot overshoot).
+        """
+        return self._queue.put(message, force=force)
+
+    def has_capacity(self) -> bool:
+        limit = self._queue.limit
+        return limit is None or len(self._queue) < limit
 
     def consume(
         self, timeout: Optional[float] = None
     ) -> Optional[TaskMessage]:
-        """Pop the next message, or None on timeout / empty non-blocking."""
-        try:
-            if timeout is None:
-                return self._queue.get_nowait()
-            return self._queue.get(timeout=timeout)
-        except queue.Empty:
-            return None
+        """Pop the most urgent message, or None on timeout / empty
+        non-blocking."""
+        return self._queue.get(timeout=timeout)
+
+    def evict_lower(self, level: int) -> Optional[TaskMessage]:
+        """Shed the newest queued message less urgent than ``level``."""
+        return self._queue.evict_lower(level)
+
+    def queue_depth(self) -> Dict[str, int]:
+        """Exact per-priority resident counts."""
+        return self._queue.depth()
 
     def revoke(self, task_id: str) -> None:
         """Mark a task so workers drop it instead of executing it."""
@@ -141,5 +180,17 @@ class Broker:
         with self._lock:
             return task_id in self._revoked
 
+    def discard_revoked(self, task_id: str) -> None:
+        """Forget a revocation once the task is terminal — the mark has
+        done its job, and keeping it would leak one set entry per
+        revoked task over a long-running service's life."""
+        with self._lock:
+            self._revoked.discard(task_id)
+
+    def revoked_count(self) -> int:
+        """Live (not yet pruned) revocation marks."""
+        with self._lock:
+            return len(self._revoked)
+
     def __len__(self) -> int:
-        return self._queue.qsize()
+        return len(self._queue)

@@ -1,0 +1,179 @@
+"""Chaos: flood a bounded scheduler with mixed-priority work while the
+``admission.decide`` point injects faults, and prove the invariants the
+overload design promises — interactive work always completes, bulk work
+is fully accounted (success / structured rejection / chaos fault /
+overflow), and the drain never hangs or loses an acknowledgement."""
+
+import threading
+
+import pytest
+
+from repro import chaos
+from repro.chaos import FaultRule
+from repro.common.errors import FaultInjectedError
+from repro.scheduler import (
+    AdmissionRejected,
+    SchedulerApp,
+    TaskState,
+)
+
+QUEUE_LIMIT = 4
+SEED = 1234
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_injector():
+    yield
+    chaos.uninstall()
+
+
+def test_overload_flood_under_admission_faults():
+    rules = [
+        # A third of bulk submissions die inside the admission decision
+        # itself — the layer must stay consistent under its own faults.
+        FaultRule(
+            "admission.decide",
+            match={"priority": "bulk"},
+            probability=0.3,
+            error="admission fault",
+        ),
+    ]
+    gate = threading.Event()
+    outcomes = {
+        "bulk_accepted": [],
+        "bulk_rejected": 0,
+        "bulk_faulted": 0,
+        "interactive": [],
+    }
+    with chaos.injected(SEED, rules):
+        app = SchedulerApp(worker_count=2, queue_limit=QUEUE_LIMIT)
+
+        @app.task(name="flood.job")
+        def flood_job(value):
+            gate.wait(timeout=10)
+            return value
+
+        try:
+            # Phase 1: bulk flood far past the bound, decisions under
+            # fault injection.  Each submission accepts, rejects with a
+            # structured retry_after, or dies on the injected fault —
+            # never anything else, and the bound always holds.
+            for index in range(10 * QUEUE_LIMIT):
+                try:
+                    handle = flood_job.apply_async(
+                        args=(index,), priority="bulk"
+                    )
+                    outcomes["bulk_accepted"].append(handle)
+                except AdmissionRejected as rejection:
+                    assert rejection.retry_after > 0
+                    outcomes["bulk_rejected"] += 1
+                except FaultInjectedError:
+                    outcomes["bulk_faulted"] += 1
+                assert len(app.broker) <= QUEUE_LIMIT
+
+            # Phase 2: interactive work arrives mid-overload (the
+            # fault rule only matches bulk, so these always decide).
+            for index in range(QUEUE_LIMIT):
+                outcomes["interactive"].append(
+                    flood_job.apply_async(
+                        args=(1000 + index,), priority="interactive"
+                    )
+                )
+                assert len(app.broker) <= QUEUE_LIMIT
+
+            gate.set()
+            app.drain(timeout=30)  # must not hang
+
+            # Every interactive submission completed.
+            for index, handle in enumerate(outcomes["interactive"]):
+                assert handle.get(timeout=5) == 1000 + index
+
+            # Every accepted bulk job reached a terminal state: ran to
+            # success, or was shed to admit interactive work — no task
+            # is stranded without an acknowledged outcome.
+            shed = 0
+            for handle in outcomes["bulk_accepted"]:
+                state = app.backend.state(handle.task_id)
+                assert state in (TaskState.SUCCESS, TaskState.SHED)
+                shed += state is TaskState.SHED
+
+            # Full accounting: every one of the 10xQ bulk submissions
+            # is accepted, rejected, or chaos-faulted.
+            total = (
+                len(outcomes["bulk_accepted"])
+                + outcomes["bulk_rejected"]
+                + outcomes["bulk_faulted"]
+            )
+            assert total == 10 * QUEUE_LIMIT
+            assert outcomes["bulk_faulted"] > 0  # faults actually fired
+            assert outcomes["bulk_rejected"] > 0
+
+            # Shed and door-rejected bulk are parked for replay.
+            records = app.admission.overflow_records()
+            reasons = [record.reason for record in records]
+            assert reasons.count("shed") == shed
+            assert reasons.count("rejected") == outcomes["bulk_rejected"]
+        finally:
+            gate.set()
+            app.shutdown()
+
+
+def test_overload_flood_is_seed_deterministic():
+    """Same seed, same submission sequence -> identical decision logs
+    (chaos faults included); a different seed perturbs the fault
+    pattern."""
+
+    def run(seed):
+        rules = [
+            FaultRule(
+                "admission.decide",
+                match={"priority": "bulk"},
+                probability=0.3,
+                error="admission fault",
+            ),
+        ]
+        gate = threading.Event()
+        trace = []
+        with chaos.injected(seed, rules):
+            app = SchedulerApp(worker_count=1, queue_limit=2)
+
+            @app.task(name="det.job")
+            def det_job(value):
+                gate.wait(timeout=10)
+                return value
+
+            try:
+                # Block the single worker so queue decisions are not
+                # racing dequeues.
+                blocker = det_job.apply_async(args=(-1,))
+                import time
+
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline:
+                    if (
+                        app.backend.state(blocker.task_id)
+                        is TaskState.STARTED
+                    ):
+                        break
+                    time.sleep(0.005)
+                for index in range(12):
+                    priority = "bulk" if index % 2 else "interactive"
+                    try:
+                        det_job.apply_async(
+                            args=(index,), priority=priority
+                        )
+                        trace.append("accept")
+                    except AdmissionRejected as rejection:
+                        trace.append(f"reject:{rejection.reason}")
+                    except FaultInjectedError:
+                        trace.append("fault")
+                gate.set()
+                app.drain(timeout=30)
+            finally:
+                gate.set()
+                app.shutdown()
+        return trace
+
+    first, second = run(77), run(77)
+    assert first == second
+    assert "fault" in first

@@ -1,0 +1,594 @@
+"""Tests for admission control: bounded priority queue, token-bucket
+rate limits, quota ledgers, load shedding, and the circuit breaker."""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.scheduler import (
+    AdmissionController,
+    AdmissionRejected,
+    CircuitBreaker,
+    LeveledQueue,
+    RetryPolicy,
+    SchedulerApp,
+    TaskState,
+    TenantLimits,
+    TokenBucket,
+)
+from repro.scheduler.admission import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BULK_LEVEL,
+    priority_level,
+)
+from repro.scheduler.broker import TaskMessage
+
+
+class FakeClock:
+    """Scripted monotonic clock for deterministic admission tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def message(
+    name="job", tenant="default", priority="default"
+) -> TaskMessage:
+    return TaskMessage(task_name=name, tenant=tenant, priority=priority)
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+# ------------------------------------------------------- leveled queue
+
+
+def test_priority_level_validation():
+    assert priority_level("interactive") == 0
+    assert priority_level("bulk") == BULK_LEVEL
+    with pytest.raises(ValidationError):
+        priority_level("urgent")
+
+
+def test_queue_serves_most_urgent_first_fifo_within_level():
+    queue = LeveledQueue()
+    queue.put(message("b1", priority="bulk"))
+    queue.put(message("d1", priority="default"))
+    queue.put(message("i1", priority="interactive"))
+    queue.put(message("i2", priority="interactive"))
+    queue.put(message("d2", priority="default"))
+    order = [queue.get().task_name for _ in range(5)]
+    assert order == ["i1", "i2", "d1", "d2", "b1"]
+    assert queue.get() is None
+
+
+def test_queue_bound_refuses_and_force_overrides():
+    queue = LeveledQueue(limit=2)
+    assert queue.put(message("a"))
+    assert queue.put(message("b"))
+    assert not queue.put(message("c"))
+    assert len(queue) == 2
+    # Redeliveries must never be lost to backpressure.
+    assert queue.put(message("reclaimed"), force=True)
+    assert len(queue) == 3
+
+
+def test_queue_limit_validation():
+    with pytest.raises(ValidationError):
+        LeveledQueue(limit=0)
+
+
+def test_evict_lower_sheds_newest_least_urgent():
+    queue = LeveledQueue()
+    queue.put(message("b1", priority="bulk"))
+    queue.put(message("d1", priority="default"))
+    queue.put(message("b2", priority="bulk"))
+    # An interactive arrival displaces the newest bulk message first.
+    assert queue.evict_lower(0).task_name == "b2"
+    assert queue.evict_lower(0).task_name == "b1"
+    # Bulk exhausted: next victim comes from the default lane.
+    assert queue.evict_lower(0).task_name == "d1"
+    assert queue.evict_lower(0) is None
+    # Bulk may never displace anything.
+    queue.put(message("i1", priority="interactive"))
+    assert queue.evict_lower(BULK_LEVEL) is None
+
+
+def test_queue_depth_matches_len():
+    queue = LeveledQueue()
+    for priority in ("bulk", "bulk", "interactive", "default"):
+        queue.put(message(priority=priority))
+    depth = queue.depth()
+    assert depth == {"interactive": 1, "default": 1, "bulk": 2}
+    assert sum(depth.values()) == len(queue) == 4
+    queue.get()
+    assert sum(queue.depth().values()) == len(queue) == 3
+
+
+def test_queue_blocking_get_times_out():
+    queue = LeveledQueue()
+    started = time.monotonic()
+    assert queue.get(timeout=0.05) is None
+    assert time.monotonic() - started >= 0.04
+
+
+# --------------------------------------------------------- token bucket
+
+
+def test_token_bucket_burst_then_refill():
+    bucket = TokenBucket(rate=2.0, burst=2.0)
+    assert bucket.try_acquire(0.0)
+    assert bucket.try_acquire(0.0)
+    assert not bucket.try_acquire(0.0)
+    assert bucket.retry_after(0.0) == pytest.approx(0.5)
+    # Half a second refills one token at 2/s.
+    assert bucket.try_acquire(0.5)
+    assert not bucket.try_acquire(0.5)
+
+
+def test_token_bucket_is_deterministic_in_clock():
+    # Exact binary fractions keep the refill arithmetic exact.
+    script = [0.0, 0.25, 0.5, 1.0, 1.5, 5.0, 5.25, 5.5]
+
+    def run():
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        return [bucket.try_acquire(now) for now in script]
+
+    first, second = run(), run()
+    assert first == second
+    assert first == [True, False, False, True, False, True, False, False]
+
+
+def test_token_bucket_validation():
+    with pytest.raises(ValidationError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValidationError):
+        TokenBucket(rate=1.0, burst=0.5)
+
+
+def test_tenant_limits_validation():
+    with pytest.raises(ValidationError):
+        TenantLimits(rate=-1.0)
+    with pytest.raises(ValidationError):
+        TenantLimits(max_queued=0)
+    with pytest.raises(ValidationError):
+        TenantLimits(max_inflight=0)
+
+
+# ------------------------------------------------------ circuit breaker
+
+
+def breaker(threshold=3):
+    # jitter=0 keeps open_until arithmetic exact in assertions.
+    return CircuitBreaker(
+        threshold=threshold,
+        backoff=RetryPolicy(base_delay=1.0, multiplier=2.0, jitter=0.0),
+    )
+
+
+def test_breaker_opens_after_consecutive_dead_letters():
+    brk = breaker(threshold=3)
+    assert brk.note_terminal("job", "t1", False, True, now=0.0) is None
+    assert brk.note_terminal("job", "t2", False, True, now=0.0) is None
+    assert brk.note_terminal("job", "t3", False, True, now=0.0) == (
+        "tripped"
+    )
+    assert brk.state("job") == BREAKER_OPEN
+    allowed, retry_after = brk.allow("job", "t4", now=0.0)
+    assert not allowed
+    assert retry_after == pytest.approx(1.0)
+
+
+def test_breaker_success_resets_failure_streak():
+    brk = breaker(threshold=2)
+    brk.note_terminal("job", "t1", False, True, now=0.0)
+    brk.note_terminal("job", "t2", True, False, now=0.0)
+    assert brk.note_terminal("job", "t3", False, True, now=0.0) is None
+    assert brk.state("job") == BREAKER_CLOSED
+
+
+def test_breaker_half_open_probe_closes_on_success():
+    brk = breaker(threshold=1)
+    brk.note_terminal("job", "t1", False, True, now=0.0)
+    assert brk.state("job") == BREAKER_OPEN
+    # Before the seeded backoff elapses the breaker fails fast.
+    allowed, _ = brk.allow("job", "probe", now=0.5)
+    assert not allowed
+    # After it elapses exactly one probe is admitted.
+    allowed, _ = brk.allow("job", "probe", now=1.0)
+    assert allowed
+    assert brk.state("job") == BREAKER_HALF_OPEN
+    refused, _ = brk.allow("job", "other", now=1.0)
+    assert not refused
+    assert brk.note_terminal("job", "probe", True, False, now=1.1) == (
+        "closed"
+    )
+    assert brk.state("job") == BREAKER_CLOSED
+    assert brk.allow("job", "t9", now=1.2) == (True, 0.0)
+
+
+def test_breaker_probe_failure_reopens_with_longer_backoff():
+    brk = breaker(threshold=1)
+    brk.note_terminal("job", "t1", False, True, now=0.0)
+    allowed, _ = brk.allow("job", "probe", now=1.0)
+    assert allowed
+    assert brk.note_terminal("job", "probe", False, True, now=1.0) == (
+        "tripped"
+    )
+    # Second trip doubles the seeded backoff: open until 1.0 + 2.0.
+    allowed, retry_after = brk.allow("job", "t2", now=1.5)
+    assert not allowed
+    assert retry_after == pytest.approx(1.5)
+
+
+def test_breaker_disabled_by_default():
+    brk = CircuitBreaker()
+    for attempt in range(10):
+        brk.note_terminal("job", f"t{attempt}", False, True, now=0.0)
+    assert brk.allow("job", "tx", now=0.0) == (True, 0.0)
+    assert brk.state("job") == BREAKER_CLOSED
+
+
+def test_breaker_threshold_validation():
+    with pytest.raises(ValidationError):
+        CircuitBreaker(threshold=0)
+
+
+# ------------------------------------------------- controller decisions
+
+
+def test_rate_limited_rejection_carries_retry_after():
+    clock = FakeClock()
+    controller = AdmissionController(
+        default_limits=TenantLimits(rate=1.0, burst=1.0), clock=clock
+    )
+    controller.decide(message("job"))
+    controller.note_accepted(message("job"))
+    with pytest.raises(AdmissionRejected) as excinfo:
+        controller.decide(message("job"))
+    assert excinfo.value.reason == "rate_limited"
+    assert excinfo.value.retry_after == pytest.approx(1.0)
+    clock.advance(1.0)
+    controller.decide(message("job"))  # token refilled
+
+
+def test_tenant_quota_is_per_tenant():
+    controller = AdmissionController(
+        default_limits=TenantLimits(max_queued=1), clock=FakeClock()
+    )
+    controller.decide(message(tenant="alice"))
+    controller.note_accepted(message(tenant="alice"))
+    with pytest.raises(AdmissionRejected) as excinfo:
+        controller.decide(message(tenant="alice"))
+    assert excinfo.value.reason == "tenant_quota"
+    # Another tenant's ledger is independent.
+    controller.decide(message(tenant="bob"))
+
+
+def test_reject_saturated_parks_only_bulk():
+    controller = AdmissionController(clock=FakeClock())
+    with pytest.raises(AdmissionRejected) as excinfo:
+        controller.reject_saturated(message("sweep", priority="bulk"))
+    assert excinfo.value.reason == "queue_full"
+    assert excinfo.value.parked
+    with pytest.raises(AdmissionRejected) as excinfo:
+        controller.reject_saturated(message("ui", priority="interactive"))
+    assert not excinfo.value.parked
+    records = controller.overflow_records()
+    assert [record.task_name for record in records] == ["sweep"]
+    assert records[0].reason == "rejected"
+
+
+def test_overflow_log_is_bounded():
+    controller = AdmissionController(clock=FakeClock(), overflow_limit=2)
+    for index in range(5):
+        with pytest.raises(AdmissionRejected) as excinfo:
+            controller.reject_saturated(
+                message(f"job{index}", priority="bulk")
+            )
+        assert excinfo.value.parked == (index < 2)
+    assert len(controller.overflow_records()) == 2
+
+
+def test_decision_log_is_deterministic():
+    script = [0.0, 0.2, 0.4, 0.6, 1.3, 1.4, 2.6, 2.7, 2.8, 4.0]
+
+    def run():
+        clock = FakeClock()
+        controller = AdmissionController(
+            default_limits=TenantLimits(rate=1.0, burst=1.0, max_queued=4),
+            breaker_threshold=2,
+            seed=42,
+            clock=clock,
+        )
+        for step, now in enumerate(script):
+            clock.now = now
+            submission = message(
+                "job",
+                tenant="alice" if step % 2 else "bob",
+                priority="bulk" if step % 3 == 0 else "default",
+            )
+            try:
+                controller.decide(submission)
+                controller.note_accepted(submission)
+            except AdmissionRejected:
+                pass
+        return controller.decision_log()
+
+    first, second = run(), run()
+    assert first == second
+    outcomes = [decision.outcome for decision in first]
+    assert "accept" in outcomes and "reject" in outcomes
+
+
+def test_stats_snapshot_counts_outcomes():
+    controller = AdmissionController(
+        default_limits=TenantLimits(max_queued=1), clock=FakeClock()
+    )
+    controller.decide(message(tenant="alice"))
+    controller.note_accepted(message(tenant="alice"))
+    with pytest.raises(AdmissionRejected):
+        controller.decide(message(tenant="alice"))
+    stats = controller.stats()
+    assert stats["outcomes"] == {"accept": 1, "reject": 1}
+    assert stats["rejected_by_reason"] == {"tenant_quota": 1}
+    assert stats["tenants"]["alice"]["queued"] == 1
+
+
+# --------------------------------------------------------- app end-to-end
+
+
+def test_overload_interactive_completes_bulk_accounted():
+    """The acceptance scenario: queue bound Q, a 10x bulk flood, then
+    interactive work.  Every interactive completes, every bulk is
+    completed / rejected-with-retry_after / parked in overflow, and the
+    queue never exceeds its bound."""
+    Q = 4
+    gate = threading.Event()
+    app = SchedulerApp(worker_count=2, queue_limit=Q)
+
+    @app.task(name="job")
+    def job(value):
+        gate.wait(timeout=10)
+        return value
+
+    try:
+        # Two bulk jobs occupy both workers; Q more fill the queue.
+        warm = [
+            job.apply_async(args=(index,), priority="bulk")
+            for index in range(2)
+        ]
+        assert wait_until(
+            lambda: all(
+                app.backend.state(handle.task_id) is TaskState.STARTED
+                for handle in warm
+            )
+        )
+        queued_bulk = [
+            job.apply_async(args=(100 + index,), priority="bulk")
+            for index in range(Q)
+        ]
+        assert len(app.broker) == Q
+
+        # A 10xQ bulk flood: every submission is refused with a
+        # structured retry_after and parked for replay.
+        for index in range(10 * Q):
+            with pytest.raises(AdmissionRejected) as excinfo:
+                job.apply_async(args=(200 + index,), priority="bulk")
+            assert excinfo.value.reason == "queue_full"
+            assert excinfo.value.retry_after > 0
+            assert excinfo.value.parked
+            assert len(app.broker) <= Q
+
+        # Interactive submissions displace queued bulk one-for-one.
+        interactive = [
+            job.apply_async(args=(300 + index,), priority="interactive")
+            for index in range(Q)
+        ]
+        assert len(app.broker) == Q
+        # With only interactive resident there is nothing to shed, so
+        # even an interactive submission is refused (never parked).
+        with pytest.raises(AdmissionRejected) as excinfo:
+            job.apply_async(args=(999,), priority="interactive")
+        assert excinfo.value.reason == "queue_full"
+        assert not excinfo.value.parked
+
+        gate.set()
+        app.drain(timeout=30)
+
+        for index, handle in enumerate(interactive):
+            assert handle.get(timeout=5) == 300 + index
+        for handle in warm:
+            assert handle.state is TaskState.SUCCESS
+        # Every queued bulk job was shed to terminal state, parked.
+        for handle in queued_bulk:
+            assert app.backend.state(handle.task_id) is TaskState.SHED
+        records = app.admission.overflow_records()
+        reasons = [record.reason for record in records]
+        assert reasons.count("shed") == Q
+        assert reasons.count("rejected") == 10 * Q
+        stats = app.admission.stats()
+        assert stats["outcomes"]["accept"] == 2 + Q + Q
+        assert stats["outcomes"]["shed"] == Q
+        assert stats["rejected_by_reason"]["queue_full"] == 10 * Q + 1
+    finally:
+        gate.set()
+        app.shutdown()
+
+
+def test_replay_overflow_resubmits_parked_work():
+    gate = threading.Event()
+    app = SchedulerApp(worker_count=1, queue_limit=1)
+
+    @app.task(name="job")
+    def job(value):
+        gate.wait(timeout=10)
+        return value
+
+    try:
+        first = job.apply_async(args=(1,), priority="bulk")
+        assert wait_until(
+            lambda: app.backend.state(first.task_id)
+            is TaskState.STARTED
+        )
+        job.apply_async(args=(2,), priority="bulk")
+        with pytest.raises(AdmissionRejected):
+            job.apply_async(args=(3,), priority="bulk")
+        assert len(app.admission.overflow_records()) == 1
+
+        gate.set()
+        app.drain(timeout=10)
+        handles = app.replay_overflow()
+        assert len(handles) == 1
+        assert handles[0].get(timeout=5) == 3
+        assert app.admission.overflow_records() == []
+    finally:
+        gate.set()
+        app.shutdown()
+
+
+def test_max_inflight_limits_concurrency():
+    admission = AdmissionController(
+        default_limits=TenantLimits(max_inflight=1)
+    )
+    app = SchedulerApp(worker_count=3, admission=admission)
+    lock = threading.Lock()
+    state = {"running": 0, "peak": 0}
+
+    @app.task(name="conc")
+    def conc():
+        with lock:
+            state["running"] += 1
+            state["peak"] = max(state["peak"], state["running"])
+        time.sleep(0.03)
+        with lock:
+            state["running"] -= 1
+
+    try:
+        handles = [conc.apply_async() for _ in range(4)]
+        app.drain(timeout=30)
+        assert all(handle.state is TaskState.SUCCESS for handle in handles)
+        assert state["peak"] == 1
+    finally:
+        app.shutdown()
+
+
+def test_singleflight_coalescing_bypasses_admission():
+    # One token ever: only the leader pays admission; identical
+    # submissions coalesce for free (and stay cross-tenant).
+    admission = AdmissionController(
+        default_limits=TenantLimits(rate=0.001, burst=1.0)
+    )
+    gate = threading.Event()
+    app = SchedulerApp(worker_count=1, admission=admission)
+
+    @app.task(name="sim")
+    def sim():
+        gate.wait(timeout=10)
+        return "result"
+
+    try:
+        leader = sim.apply_async(dedup_key="fp", tenant="alice")
+        follower = sim.apply_async(dedup_key="fp", tenant="bob")
+        assert follower.task_id == leader.task_id
+        with pytest.raises(AdmissionRejected) as excinfo:
+            sim.apply_async(dedup_key="other", tenant="alice")
+        assert excinfo.value.reason == "rate_limited"
+        gate.set()
+        assert leader.get(timeout=5) == "result"
+        outcomes = [
+            decision.outcome
+            for decision in app.admission.decision_log()
+        ]
+        assert outcomes.count("coalesce") == 1
+    finally:
+        gate.set()
+        app.shutdown()
+
+
+def test_breaker_rejection_surfaces_through_apply_async():
+    admission = AdmissionController(
+        breaker_threshold=1,
+        breaker_backoff=RetryPolicy(base_delay=60.0, jitter=0.0),
+        clock=FakeClock(),
+    )
+    # Poison the breaker directly (dead-letters normally come from the
+    # reaper after redelivery exhaustion, which is slow to stage).
+    app = SchedulerApp(worker_count=1, admission=admission)
+
+    @app.task(name="poisoned")
+    def poisoned():
+        return None
+
+    try:
+        admission.breaker.note_terminal(
+            "poisoned", "t1", success=False, dead_letter=True, now=0.0
+        )
+        with pytest.raises(AdmissionRejected) as excinfo:
+            poisoned.apply_async()
+        assert excinfo.value.reason == "breaker_open"
+        assert excinfo.value.retry_after > 0
+    finally:
+        app.shutdown()
+
+
+# ------------------------------------------- revocation mark hygiene
+
+
+def test_revoke_terminal_task_is_noop():
+    app = SchedulerApp(worker_count=1)
+
+    @app.task(name="quick")
+    def quick():
+        return 1
+
+    try:
+        handle = quick.apply_async()
+        assert handle.get(timeout=5) == 1
+        app.revoke(handle)
+        assert app.broker.revoked_count() == 0
+    finally:
+        app.shutdown()
+
+
+def test_revoked_mark_pruned_after_skip():
+    gate = threading.Event()
+    app = SchedulerApp(worker_count=1)
+
+    @app.task(name="job")
+    def job(value):
+        gate.wait(timeout=10)
+        return value
+
+    try:
+        blocker = job.apply_async(args=(1,))
+        assert wait_until(
+            lambda: app.backend.state(blocker.task_id)
+            is TaskState.STARTED
+        )
+        victim = job.apply_async(args=(2,))
+        app.revoke(victim)
+        assert app.broker.revoked_count() == 1
+        gate.set()
+        app.drain(timeout=10)
+        assert app.backend.state(victim.task_id) is TaskState.REVOKED
+        assert app.broker.revoked_count() == 0
+    finally:
+        gate.set()
+        app.shutdown()

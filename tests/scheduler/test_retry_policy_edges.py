@@ -1,0 +1,88 @@
+"""Edge-case tests for RetryPolicy: zero budgets, degenerate delays,
+and the seeded-jitter determinism contract."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.scheduler import RetryPolicy
+
+
+def test_max_retries_zero_never_retries():
+    policy = RetryPolicy(max_retries=0)
+    assert not policy.should_retry(0, RuntimeError("boom"))
+    assert not policy.should_retry(0, None)
+    assert policy.schedule("task") == []
+
+
+def test_zero_base_delay_short_circuits_jitter():
+    # base_delay=0 means immediate retries even with jitter configured;
+    # the jitter stream must not be consulted at all.
+    policy = RetryPolicy(max_retries=3, base_delay=0.0, jitter=0.5)
+    assert policy.schedule("task") == [0.0, 0.0, 0.0]
+
+
+def test_negative_base_delay_rejected():
+    with pytest.raises(ValidationError):
+        RetryPolicy(base_delay=-0.1)
+    with pytest.raises(ValidationError):
+        RetryPolicy(max_delay=-1.0)
+
+
+def test_negative_retry_budget_rejected():
+    with pytest.raises(ValidationError):
+        RetryPolicy(max_retries=-1)
+
+
+def test_jitter_bounds_enforced():
+    with pytest.raises(ValidationError):
+        RetryPolicy(jitter=-0.1)
+    with pytest.raises(ValidationError):
+        RetryPolicy(jitter=1.1)
+
+
+def test_attempt_numbers_are_one_based():
+    policy = RetryPolicy(max_retries=1, base_delay=1.0)
+    with pytest.raises(ValidationError):
+        policy.backoff("task", 0)
+
+
+def test_seeded_jitter_identical_across_equal_policies():
+    # Two separately constructed but identical policies must produce
+    # bit-identical schedules — the reproducibility contract.
+    make = lambda: RetryPolicy(  # noqa: E731
+        max_retries=5, base_delay=0.5, jitter=0.3, seed=7
+    )
+    assert make().schedule("task-a") == make().schedule("task-a")
+    assert make().backoff("task-a", 3) == make().backoff("task-a", 3)
+
+
+def test_seed_and_key_perturb_the_schedule():
+    base = RetryPolicy(max_retries=5, base_delay=0.5, jitter=0.3, seed=7)
+    other_seed = RetryPolicy(
+        max_retries=5, base_delay=0.5, jitter=0.3, seed=8
+    )
+    assert base.schedule("task-a") != other_seed.schedule("task-a")
+    assert base.schedule("task-a") != base.schedule("task-b")
+
+
+def test_jittered_delays_stay_non_negative_and_capped():
+    policy = RetryPolicy(
+        max_retries=8,
+        base_delay=1.0,
+        multiplier=4.0,
+        max_delay=5.0,
+        jitter=1.0,
+        seed=3,
+    )
+    for key in ("a", "b", "c"):
+        for delay in policy.schedule(key):
+            assert 0.0 <= delay <= 5.0 * 2  # cap + full jitter spread
+
+
+def test_max_delay_caps_exponential_growth():
+    policy = RetryPolicy(
+        max_retries=10, base_delay=1.0, multiplier=2.0, max_delay=4.0
+    )
+    assert policy.schedule("task") == [
+        1.0, 2.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0,
+    ]

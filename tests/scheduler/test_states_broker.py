@@ -18,6 +18,7 @@ def test_terminal_states():
         TaskState.TIMEOUT,
         TaskState.REVOKED,
         TaskState.DEAD_LETTER,
+        TaskState.SHED,
     }
 
 

@@ -54,12 +54,21 @@ def lint_paths(paths):
     return Analyzer(default_rules()).analyze_paths(paths)
 
 
+def deep_lint_paths(paths):
+    """Run the whole-program passes (races, taint, layering); sorted
+    findings.  Imported lazily: most callers only want the rule pack."""
+    from repro.analysis.dataflow import deep_lint_paths as _deep
+
+    return _deep(paths)
+
+
 __all__ = [
     "Analyzer",
     "Finding",
     "Rule",
     "iter_python_files",
     "default_rules",
+    "deep_lint_paths",
     "lint_paths",
     "DETERMINISM_RULES",
     "CONCURRENCY_RULES",

@@ -1,0 +1,66 @@
+"""Whole-program ("deep") analyses under the lint engine.
+
+``repro lint --deep`` layers three interprocedural passes on top of the
+single-file rule packs:
+
+- :mod:`~repro.analysis.dataflow.races` — RacerD-style lockset race
+  detection (``RACE-INCONSISTENT``);
+- :mod:`~repro.analysis.dataflow.taint` — determinism taint from
+  wall-clock/uuid/random sources into identity sinks (``DET-FLOW``);
+- :mod:`~repro.analysis.dataflow.layering` — the architecture layer DAG,
+  machine-enforced (``ARCH-LAYER``).
+
+All three emit ordinary :class:`~repro.analysis.engine.Finding` objects,
+so ``# repro: noqa[...]`` pragmas and the baseline ratchet apply
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.analysis.engine import Finding
+from repro.analysis.dataflow.callgraph import CallGraph
+from repro.analysis.dataflow.graph import ModuleInfo, Project
+from repro.analysis.dataflow.layering import find_layering_violations
+from repro.analysis.dataflow.races import find_races
+from repro.analysis.dataflow.taint import find_taint_flows
+
+__all__ = [
+    "CallGraph",
+    "Project",
+    "deep_lint_paths",
+    "find_layering_violations",
+    "find_races",
+    "find_taint_flows",
+]
+
+
+def deep_lint_paths(paths: Iterable[str]) -> List[Finding]:
+    """Run all whole-program passes over ``paths``.
+
+    Returns sorted findings with ``# repro: noqa`` pragmas already
+    applied (matching the single-file engine's contract).
+    """
+    project = Project.load(paths)
+    graph = CallGraph(project)
+    findings = (
+        find_races(project, graph)
+        + find_taint_flows(project, graph)
+        + find_layering_violations(project)
+    )
+    by_path: Dict[str, ModuleInfo] = {
+        module.path: module for module in project.modules.values()
+    }
+    kept = [
+        finding
+        for finding in findings
+        if not (
+            finding.file in by_path
+            and by_path[finding.file].suppressed(
+                finding.line, finding.rule_id
+            )
+        )
+    ]
+    kept.sort(key=Finding.sort_key)
+    return kept

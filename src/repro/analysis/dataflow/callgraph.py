@@ -1,0 +1,288 @@
+"""Approximate whole-program call graph over a :class:`Project`.
+
+Python call resolution without running the program is necessarily
+approximate; this resolver is tuned for the idioms this codebase
+actually uses (and the imprecision is documented in
+``docs/analysis.md``):
+
+- ``self.method(...)`` — resolved through the enclosing class,
+  following single-inheritance bases defined in the project;
+- ``self.attr.method(...)`` — resolved when ``attr``'s type was
+  inferred from an ``__init__`` assignment of a project class
+  (``self._queue = LeveledQueue(...)`` types ``_queue``);
+- ``name(...)`` / ``mod.func(...)`` / ``mod.Class(...)`` — resolved
+  through the file's import-alias map and the module symbol tables;
+  constructing a project class resolves to its ``__init__``.
+
+Everything unresolvable stays an *external dotted name* (``time.time``,
+``queue.Queue``) so the taint pass can match sources and sinks on it.
+
+Beyond call edges the graph carries the per-class facts the race and
+taint passes share: which ``self.X`` attributes are locks (the same
+factory + name inference the single-file concurrency rules use) and the
+inferred type of every ``self.X`` attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.dataflow.graph import ModuleInfo, Project
+from repro.analysis.rules_concurrency import (
+    LOCK_FACTORIES,
+    _is_lockish_name,
+)
+
+#: Methods that run before any second thread can hold the instance —
+#: accesses there are construction, not sharing.
+CONSTRUCTION_METHODS = frozenset(
+    {"__init__", "__new__", "__post_init__", "__del__"}
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  #: ``repro.mod.Class.method`` / ``repro.mod.func``
+    module: ModuleInfo
+    node: ast.AST  #: FunctionDef | AsyncFunctionDef
+    cls_name: Optional[str] = None  #: enclosing class, when a method
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls_name is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus the inferred facts about it."""
+
+    qualname: str  #: ``repro.mod.Class``
+    module: ModuleInfo
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.X`` attributes assigned a threading lock factory.
+    lock_attrs: Set[str] = field(default_factory=set)
+    #: ``self.X`` -> dotted type name (project class qualname or
+    #: external dotted name) inferred from constructor-call assignments.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: resolved project base-class qualnames, in declaration order.
+    bases: List[str] = field(default_factory=list)
+
+    def lookup_method(
+        self, graph: "CallGraph", name: str
+    ) -> Optional[FunctionInfo]:
+        """Find ``name`` on this class or (project-defined) bases."""
+        seen: Set[str] = set()
+        queue = [self.qualname]
+        while queue:
+            cls_qualname = queue.pop(0)
+            if cls_qualname in seen:
+                continue
+            seen.add(cls_qualname)
+            cls = graph.classes.get(cls_qualname)
+            if cls is None:
+                continue
+            if name in cls.methods:
+                return cls.methods[name]
+            queue.extend(cls.bases)
+        return None
+
+
+class CallGraph:
+    """Functions, classes, and resolved call edges of a project."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._index(project)
+        self._infer_class_facts()
+
+    # ------------------------------------------------------------ indexing
+
+    def _index(self, project: Project) -> None:
+        for module in project.modules.values():
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = FunctionInfo(
+                        qualname=f"{module.name}.{node.name}",
+                        module=module,
+                        node=node,
+                    )
+                    self.functions[info.qualname] = info
+                elif isinstance(node, ast.ClassDef):
+                    self._index_class(module, node)
+
+    def _index_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        cls = ClassInfo(
+            qualname=f"{module.name}.{node.name}",
+            module=module,
+            node=node,
+        )
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{cls.qualname}.{item.name}",
+                    module=module,
+                    node=item,
+                    cls_name=node.name,
+                )
+                cls.methods[item.name] = info
+                self.functions[info.qualname] = info
+        self.classes[cls.qualname] = cls
+
+    def _infer_class_facts(self) -> None:
+        for cls in self.classes.values():
+            for base in cls.node.bases:
+                resolved = self._resolve_dotted(cls.module, base)
+                if resolved and resolved in self.classes:
+                    cls.bases.append(resolved)
+            # ``__init__`` first so its assignment wins ties; then the
+            # other methods (late-created helpers like monitor threads).
+            methods = sorted(
+                cls.methods.values(),
+                key=lambda m: (m.name != "__init__", m.name),
+            )
+            for method in methods:
+                self._infer_attr_types(cls, method)
+
+    def _infer_attr_types(
+        self, cls: ClassInfo, method: FunctionInfo
+    ) -> None:
+        for node in ast.walk(method.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            type_name = self._resolve_dotted(cls.module, node.value.func)
+            if type_name is None:
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                cls.attr_types.setdefault(target.attr, type_name)
+                if type_name in LOCK_FACTORIES:
+                    cls.lock_attrs.add(target.attr)
+
+    # ---------------------------------------------------------- resolution
+
+    def _resolve_dotted(
+        self, module: ModuleInfo, node: ast.AST
+    ) -> Optional[str]:
+        """Name/Attribute chain -> dotted name through import aliases."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = module.imports.get(node.id, None)
+        if root is None:
+            # A module-level symbol of this file, or a plain local name.
+            if node.id in module.symbols:
+                root = f"{module.name}.{node.id}"
+            else:
+                root = node.id
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolve_call(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+    ) -> Tuple[Optional[FunctionInfo], Optional[str]]:
+        """Resolve a call site to ``(project_function, external_name)``.
+
+        Exactly one of the pair is non-None for resolvable calls; both
+        are None when the callee is something opaque (a local variable,
+        a lambda, a subscript).
+        """
+        func = call.func
+        # self.method(...) / self.attr.method(...)
+        if fn.is_method and isinstance(func, ast.Attribute):
+            target = self._resolve_self_call(fn, func)
+            if target is not None:
+                return target, None
+        dotted = self._resolve_dotted(fn.module, func)
+        if dotted is None:
+            return None, None
+        return self._resolve_dotted_callee(dotted)
+
+    def _resolve_self_call(
+        self, fn: FunctionInfo, func: ast.Attribute
+    ) -> Optional[FunctionInfo]:
+        cls = self.classes.get(
+            f"{fn.module.name}.{fn.cls_name}"
+        )
+        if cls is None:
+            return None
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            return cls.lookup_method(self, func.attr)
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+        ):
+            attr_type = cls.attr_types.get(receiver.attr)
+            if attr_type and attr_type in self.classes:
+                return self.classes[attr_type].lookup_method(
+                    self, func.attr
+                )
+        return None
+
+    def _resolve_dotted_callee(
+        self, dotted: str
+    ) -> Tuple[Optional[FunctionInfo], Optional[str]]:
+        if dotted in self.functions:
+            return self.functions[dotted], None
+        if dotted in self.classes:
+            init = self.classes[dotted].lookup_method(self, "__init__")
+            # A constructor with no project __init__ is still a project
+            # call target for taint purposes; surface the class itself.
+            return init, dotted if init is None else None
+        # ``mod.symbol`` where ``mod`` resolves to a project module.
+        prefix = self.project.resolve_module_prefix(dotted)
+        if prefix is not None and prefix != dotted:
+            rest = dotted[len(prefix) + 1 :]
+            candidate = f"{prefix}.{rest}"
+            if candidate in self.functions:
+                return self.functions[candidate], None
+            if candidate in self.classes:
+                init = self.classes[candidate].lookup_method(
+                    self, "__init__"
+                )
+                return init, candidate if init is None else None
+        return None, dotted
+
+    # ------------------------------------------------------------- queries
+
+    def class_of(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        if fn.cls_name is None:
+            return None
+        return self.classes.get(f"{fn.module.name}.{fn.cls_name}")
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        for qualname in sorted(self.functions):
+            yield self.functions[qualname]
+
+    def iter_calls(
+        self, fn: FunctionInfo
+    ) -> Iterator[Tuple[ast.Call, Optional[FunctionInfo], Optional[str]]]:
+        """Every call site in ``fn`` with its resolution."""
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                target, external = self.resolve_call(fn, node)
+                yield node, target, external

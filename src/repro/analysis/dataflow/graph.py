@@ -1,0 +1,212 @@
+"""Whole-program module table and import graph.
+
+The single-file lint engine (:mod:`repro.analysis.engine`) sees one
+function at a time; everything in :mod:`repro.analysis.dataflow` needs
+the *program*: which modules exist, what each one imports, and (for the
+call graph built on top) which symbols each module defines.  This module
+is that substrate.
+
+A :class:`Project` is a parsed snapshot of a source tree:
+
+- :class:`ModuleInfo` — one parsed file: logical dotted name
+  (``repro.sim.engine``), AST, source lines, the import-alias map the
+  engine already computes, and the resolved **import edges**;
+- :class:`ImportEdge` — one ``import``/``from`` statement resolved to
+  the dotted module it depends on, with the source line (findings point
+  at it) and whether the import is gated behind
+  ``typing.TYPE_CHECKING`` (annotation-only edges do not create runtime
+  layering dependencies and are excluded from the gate).
+
+Resolution is *textual*, not executable: ``from repro.scheduler import
+broker`` becomes an edge to ``repro.scheduler.broker`` when that module
+is in the project, else to ``repro.scheduler``; external imports
+(``threading``) are kept as opaque dotted names so the taint pass can
+still match sources like ``time.time``.  Nothing is ever imported.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.engine import (
+    _collect_imports,
+    _collect_noqa,
+    iter_python_files,
+    logical_module,
+)
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import dependency of a module."""
+
+    source: str  #: importing module's dotted name
+    target: str  #: imported dotted name (module-resolved when possible)
+    lineno: int
+    type_checking: bool = False  #: inside ``if TYPE_CHECKING:`` only
+    toplevel: bool = True  #: module scope (False: deferred, in a def)
+
+
+class ModuleInfo:
+    """One parsed source file and its module-level facts."""
+
+    def __init__(self, name: str, path: str, source: str, tree: ast.Module):
+        self.name = name
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: local name -> fully qualified dotted name (import aliases).
+        self.imports: Dict[str, str] = _collect_imports(tree)
+        #: line -> suppressed rule ids (``# repro: noqa`` pragmas).
+        self.noqa = _collect_noqa(self.lines)
+        #: filled by :meth:`Project._resolve_imports`.
+        self.import_edges: List[ImportEdge] = []
+        #: module-level symbol name -> "function" | "class".
+        self.symbols: Dict[str, str] = {}
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.symbols[node.name] = "function"
+            elif isinstance(node, ast.ClassDef):
+                self.symbols[node.name] = "class"
+
+    @property
+    def package(self) -> str:
+        """The dotted package holding this module (its parent)."""
+        return self.name.rpartition(".")[0]
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressed(self, lineno: int, rule_id: str) -> bool:
+        rules = self.noqa.get(lineno)
+        if rules is None:
+            return False
+        return not rules or rule_id in rules
+
+
+class Project:
+    """A parsed source tree, keyed by logical module name."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]):
+        self.modules = modules
+
+    @classmethod
+    def load(cls, paths: Iterable[str]) -> "Project":
+        """Parse every ``.py`` file under ``paths`` (deterministic
+        order); files that fail to parse are skipped — the shallow lint
+        pass already reports ``PARSE`` findings for them."""
+        modules: Dict[str, ModuleInfo] = {}
+        for path in iter_python_files(paths):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                tree = ast.parse(source, filename=path)
+            except (OSError, SyntaxError):
+                continue
+            name = logical_module(path)
+            modules[name] = ModuleInfo(name, path, source, tree)
+        project = cls(modules)
+        project._resolve_imports()
+        return project
+
+    # --------------------------------------------------------- resolution
+
+    def resolve_module_prefix(self, dotted: str) -> Optional[str]:
+        """Longest prefix of ``dotted`` that names a project module."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def _resolve_imports(self) -> None:
+        for module in self.modules.values():
+            module.import_edges = list(self._edges_for(module))
+
+    def _edges_for(self, module: ModuleInfo) -> Iterable[ImportEdge]:
+        type_checking_spans = _type_checking_lines(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield ImportEdge(
+                        source=module.name,
+                        target=alias.name,
+                        lineno=node.lineno,
+                        type_checking=node.lineno in type_checking_spans,
+                        toplevel=node.col_offset == 0,
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_from_base(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    # ``from pkg import mod`` names a submodule when one
+                    # exists; otherwise the dependency is on ``pkg``.
+                    candidate = f"{base}.{alias.name}"
+                    target = (
+                        candidate if candidate in self.modules else base
+                    )
+                    yield ImportEdge(
+                        source=module.name,
+                        target=target,
+                        lineno=node.lineno,
+                        type_checking=node.lineno in type_checking_spans,
+                        toplevel=node.col_offset == 0,
+                    )
+
+    def _import_from_base(
+        self, module: ModuleInfo, node: ast.ImportFrom
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        # Relative import: level 1 is the module's own package (which,
+        # for a package ``__init__``, is the module name itself).
+        parts = module.name.split(".")
+        if not module.path.endswith(os.sep + "__init__.py"):
+            parts = parts[:-1]
+        up = node.level - 1
+        if up:
+            if len(parts) < up:
+                return None
+            parts = parts[:-up]
+        if node.module:
+            parts = parts + node.module.split(".")
+        return ".".join(parts) if parts else None
+
+
+def _type_checking_lines(tree: ast.Module) -> Set[int]:
+    """Line numbers inside ``if TYPE_CHECKING:`` guards (annotation-only
+    imports; excluded from runtime layering)."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_guard = (
+            isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+        ) or (
+            isinstance(test, ast.Attribute)
+            and test.attr == "TYPE_CHECKING"
+        )
+        if not is_guard:
+            continue
+        for child in node.body:
+            end = getattr(child, "end_lineno", child.lineno)
+            lines.update(range(child.lineno, end + 1))
+    return lines
+
+
+def top_package(module_name: str, root: str = "repro") -> Optional[str]:
+    """First package component under ``root``: ``repro.sim.engine`` →
+    ``sim``; the root module itself (``repro``) has none."""
+    parts = module_name.split(".")
+    if not parts or parts[0] != root or len(parts) < 2:
+        return None
+    return parts[1]

@@ -1,0 +1,235 @@
+"""Import-layering gate: the architecture DAG, machine-enforced.
+
+``docs/architecture.md`` describes the package layering in prose
+("strict, no cycles, ``common`` at the bottom").  This pass encodes
+that DAG as data — :data:`ALLOWED_DEPENDENCIES` maps each top-level
+package under ``repro`` to the set of packages it may import — and
+reports every violation as an ``ARCH-LAYER`` finding:
+
+- **upward imports** — an import edge to a package not in the
+  importer's allowed set (e.g. ``gpu`` importing ``sim``);
+- **module cycles** — a cycle among project modules, found by DFS over
+  the resolved import graph (covers intra-package cycles the DAG check
+  cannot see).
+
+``if TYPE_CHECKING:`` imports are annotation-only and never create a
+runtime dependency, so they are exempt from both checks.  A module may
+always import within its own package and from ``repro`` itself (the
+root ``__init__`` re-exports nothing heavy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.analysis.engine import Finding
+from repro.analysis.dataflow.graph import (
+    ImportEdge,
+    ModuleInfo,
+    Project,
+    top_package,
+)
+
+RULE_ID = "ARCH-LAYER"
+SEVERITY = "error"
+
+_EVERYTHING = frozenset(
+    {
+        "common",
+        "telemetry",
+        "chaos",
+        "vfs",
+        "guest",
+        "gpu",
+        "db",
+        "scheduler",
+        "packer",
+        "sim",
+        "resources",
+        "art",
+        "analysis",
+    }
+)
+
+#: The layer DAG from ``docs/architecture.md``: package -> packages it
+#: may import.  Own-package imports are always allowed and not listed.
+ALLOWED_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
+    "common": frozenset(),
+    "telemetry": frozenset({"common"}),
+    "chaos": frozenset({"common"}),
+    "vfs": frozenset({"common"}),
+    "guest": frozenset({"common"}),
+    "gpu": frozenset({"common", "telemetry"}),
+    "db": frozenset({"common", "telemetry", "chaos"}),
+    "scheduler": frozenset({"common", "telemetry", "chaos"}),
+    "packer": frozenset({"common", "vfs", "guest"}),
+    "sim": frozenset(
+        {"common", "telemetry", "chaos", "vfs", "guest", "gpu"}
+    ),
+    "resources": frozenset(
+        {"common", "vfs", "guest", "gpu", "packer", "sim"}
+    ),
+    "art": frozenset(
+        {
+            "common",
+            "telemetry",
+            "chaos",
+            "vfs",
+            "guest",
+            "gpu",
+            "db",
+            "scheduler",
+            "packer",
+            "sim",
+            "resources",
+        }
+    ),
+    "analysis": frozenset({"common", "telemetry", "db", "art"}),
+    "cli": _EVERYTHING,
+    "__main__": frozenset({"cli"}),
+}
+
+
+def _assert_dag() -> None:
+    """The encoded layering must itself be acyclic (sanity check run at
+    import time; a cycle here is a programming error in this table)."""
+    state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+    def visit(pkg: str, trail: List[str]) -> None:
+        mark = state.get(pkg)
+        if mark == 1:
+            return
+        if mark == 0:
+            raise ValueError(
+                "ALLOWED_DEPENDENCIES cycle: " + " -> ".join(trail + [pkg])
+            )
+        state[pkg] = 0
+        for dep in sorted(ALLOWED_DEPENDENCIES.get(pkg, frozenset())):
+            visit(dep, trail + [pkg])
+        state[pkg] = 1
+
+    for pkg in sorted(ALLOWED_DEPENDENCIES):
+        visit(pkg, [])
+
+
+_assert_dag()
+
+
+def _edge_package(edge: ImportEdge) -> Optional[str]:
+    return top_package(edge.target)
+
+
+def _upward_findings(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for name in sorted(project.modules):
+        module = project.modules[name]
+        source_pkg = top_package(module.name)
+        if source_pkg is None:
+            # ``repro`` root / ``repro.cli`` / ``repro.__main__`` are
+            # module-level entries: key them by their own name.
+            tail = module.name.rpartition(".")[2]
+            if tail in ALLOWED_DEPENDENCIES:
+                source_pkg = tail
+            else:
+                continue
+        allowed = ALLOWED_DEPENDENCIES.get(source_pkg)
+        if allowed is None:
+            continue  # unknown package (e.g. test fixtures): no gate
+        reported: Set[tuple] = set()
+        for edge in module.import_edges:
+            if edge.type_checking:
+                continue
+            if (edge.lineno, edge.target) in reported:
+                continue  # one finding per import statement + target
+            target_pkg = _edge_package(edge)
+            if target_pkg is None or target_pkg == source_pkg:
+                continue
+            if target_pkg not in ALLOWED_DEPENDENCIES:
+                continue
+            if target_pkg in allowed:
+                continue
+            reported.add((edge.lineno, edge.target))
+            permitted = ", ".join(sorted(allowed)) or "(nothing)"
+            findings.append(
+                Finding(
+                    file=module.path,
+                    line=edge.lineno,
+                    col=0,
+                    rule_id=RULE_ID,
+                    severity=SEVERITY,
+                    message=(
+                        f"layering violation: {module.name} (layer "
+                        f"'{source_pkg}') imports {edge.target} (layer "
+                        f"'{target_pkg}'); '{source_pkg}' may only "
+                        f"depend on: {permitted} — see the layer DAG "
+                        "in docs/architecture.md"
+                    ),
+                    snippet=module.line_text(edge.lineno).strip(),
+                )
+            )
+    return findings
+
+
+def _cycle_findings(project: Project) -> List[Finding]:
+    """Report each import cycle among project modules once, at the
+    back-edge import statement that closes it."""
+    graph: Dict[str, List[ImportEdge]] = {}
+    for name in sorted(project.modules):
+        module = project.modules[name]
+        edges = []
+        for edge in module.import_edges:
+            if edge.type_checking or not edge.toplevel:
+                # Deferred (function-scope) imports cannot create an
+                # import-time cycle; that is exactly why they exist.
+                continue
+            if edge.target in project.modules and edge.target != name:
+                edges.append(edge)
+        graph[name] = sorted(edges, key=lambda e: (e.target, e.lineno))
+
+    findings: List[Finding] = []
+    color: Dict[str, int] = {}  # 1 on stack, 2 done
+    stack: List[str] = []
+
+    def visit(name: str) -> None:
+        color[name] = 1
+        stack.append(name)
+        for edge in graph.get(name, []):
+            mark = color.get(edge.target)
+            if mark == 2:
+                continue
+            if mark == 1:
+                start = stack.index(edge.target)
+                cycle = stack[start:] + [edge.target]
+                module = project.modules[name]
+                findings.append(
+                    Finding(
+                        file=module.path,
+                        line=edge.lineno,
+                        col=0,
+                        rule_id=RULE_ID,
+                        severity=SEVERITY,
+                        message=(
+                            "import cycle: "
+                            + " -> ".join(cycle)
+                            + "; break the cycle (move the shared "
+                            "piece down a layer or defer the import)"
+                        ),
+                        snippet=module.line_text(edge.lineno).strip(),
+                    )
+                )
+                continue
+            visit(edge.target)
+        stack.pop()
+        color[name] = 2
+
+    for name in sorted(graph):
+        if name not in color:
+            visit(name)
+    return findings
+
+
+def find_layering_violations(project: Project) -> List[Finding]:
+    """Run the layering gate; sorted ``ARCH-LAYER`` findings."""
+    findings = _upward_findings(project) + _cycle_findings(project)
+    findings.sort(key=Finding.sort_key)
+    return findings

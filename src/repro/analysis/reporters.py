@@ -1,6 +1,6 @@
-"""Finding reporters: text for humans, JSON for CI.
+"""Finding reporters: text for humans, JSON and SARIF for CI.
 
-Both formats are deterministic (findings arrive pre-sorted from the
+All formats are deterministic (findings arrive pre-sorted from the
 engine; counters are emitted in sorted order) so two runs over the same
 tree produce byte-identical reports — the analyzer holds itself to the
 contract it enforces.
@@ -58,3 +58,72 @@ def render_json(
         "findings": [finding.to_dict() for finding in findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+#: Finding severity -> SARIF result level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_sarif(
+    findings: List[Finding], baselined: int = 0
+) -> str:
+    """SARIF 2.1.0, one run — the format code-scanning UIs ingest.
+
+    Rules are deduplicated into the driver's rule table; each result
+    carries the finding fingerprint as a partial fingerprint so SARIF
+    consumers track findings across commits the same way the baseline
+    ratchet does.
+    """
+    rule_ids = sorted({finding.rule_id for finding in findings})
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": rule_index[finding.rule_id],
+                "level": _SARIF_LEVELS.get(finding.severity, "note"),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.file.replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproFindingFingerprint/v1": finding.fingerprint
+                },
+            }
+        )
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/analysis"
+                        ),
+                        "rules": [
+                            {"id": rule_id} for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "properties": {"baselined": baselined},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

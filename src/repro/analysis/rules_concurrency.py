@@ -212,6 +212,12 @@ class BlockingUnderLockRule(_ConcurrencyRule):
             # legitimate blocking call under a lock.
             if _expr_token(receiver) in held:
                 return
+            # Path and string joins are pure computation, not blocking.
+            if func.attr == "join" and (
+                name in ("os.path.join", "posixpath.join", "ntpath.join")
+                or isinstance(receiver, ast.Constant)
+            ):
+                return
             # self._stop.wait(t) on an Event is a sleep in disguise.
             yield self.finding(
                 ctx,

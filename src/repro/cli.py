@@ -227,8 +227,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="files or directories to analyze (default: src/repro)",
     )
     lint.add_argument(
-        "--format", default="text", choices=("text", "json"),
-        help="report format (json for CI consumption)",
+        "--format", default="text", choices=("text", "json", "sarif"),
+        help="report format (json or sarif for CI consumption)",
+    )
+    lint.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program passes (lockset races, "
+        "determinism taint, import layering)",
     )
     lint.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -912,7 +917,11 @@ def _cmd_lint(args) -> int:
         split_baselined,
         write_baseline,
     )
-    from repro.analysis.reporters import render_json, render_text
+    from repro.analysis.reporters import (
+        render_json,
+        render_sarif,
+        render_text,
+    )
     from repro.common.errors import ReproError
 
     paths = args.paths or ["src/repro"]
@@ -924,6 +933,13 @@ def _cmd_lint(args) -> int:
         print("error: --write-baseline requires --baseline PATH")
         return 2
     findings = lint_paths(paths)
+    if getattr(args, "deep", False):
+        from repro.analysis import deep_lint_paths
+
+        findings = sorted(
+            findings + deep_lint_paths(paths),
+            key=lambda finding: finding.sort_key(),
+        )
     if args.write_baseline:
         write_baseline(args.baseline, findings)
         print(
@@ -940,7 +956,10 @@ def _cmd_lint(args) -> int:
             return 2
         findings, known = split_baselined(findings, accepted)
         baselined = len(known)
-    render = render_json if args.format == "json" else render_text
+    render = {
+        "json": render_json,
+        "sarif": render_sarif,
+    }.get(args.format, render_text)
     output = render(findings, baselined=baselined)
     print(output, end="" if output.endswith("\n") else "\n")
     failing = ("error", "warning") if args.strict else ("error",)

@@ -440,7 +440,8 @@ class Collection:
     # ---------------------------------------------------------------- misc
 
     def __len__(self) -> int:
-        return len(self._documents)
+        with self._lock:
+            return len(self._documents)
 
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         with self._lock:

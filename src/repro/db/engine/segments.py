@@ -250,7 +250,11 @@ class CollectionStore:
                 self.seal()
 
     def flush(self) -> None:
-        self._writer.flush()
+        # Under the lock: ``seal()`` swaps ``self._writer`` for a fresh
+        # WAL, and flushing the stale writer would silently lose the
+        # durability point.
+        with self._lock:
+            self._writer.flush()
 
     # -------------------------------------------------------------- seal
 

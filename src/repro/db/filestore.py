@@ -327,12 +327,14 @@ class FileStore:
     def exists(self, digest: str) -> bool:
         _check_digest(digest)
         if self.root is None:
-            return digest in self._memory
+            with self._lock:
+                return digest in self._memory
         return self._find(digest) is not None
 
     def list_ids(self) -> List[str]:
         if self.root is None:
-            return sorted(self._memory)
+            with self._lock:
+                return sorted(self._memory)
         ids = set()
         for entry in os.listdir(self.root):
             path = os.path.join(self.root, entry)
@@ -351,16 +353,22 @@ class FileStore:
     def metadata(self, digest: str) -> Dict:
         if not self.exists(digest):
             raise NotFoundError(f"no blob with id {digest}")
-        return dict(
-            self._metadata.get(digest, {"length": None, "filenames": []})
-        )
+        with self._lock:
+            return dict(
+                self._metadata.get(
+                    digest, {"length": None, "filenames": []}
+                )
+            )
 
     def stats(self) -> Dict[str, object]:
         """Blob population and layout shape for ``repro db stats``."""
         ids = self.list_ids()
         stats: Dict[str, object] = {"blobs": len(ids), "bytes": 0, "shards": 0}
         if self.root is None:
-            stats["bytes"] = sum(len(d) for d in self._memory.values())
+            with self._lock:
+                stats["bytes"] = sum(
+                    len(d) for d in self._memory.values()
+                )
             return stats
         total = 0
         for digest in ids:

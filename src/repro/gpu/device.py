@@ -34,7 +34,7 @@ from repro.common.errors import ValidationError
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernels import GPUKernel
 from repro.gpu.regalloc import build_register_allocator
-from repro.sim.stats import StatsDB
+from repro.common.statsdb import StatsDB
 
 #: Cycles to issue one 64-lane wavefront instruction on a SIMD16.
 _ISSUE_CYCLES = 4.0

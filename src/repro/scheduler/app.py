@@ -802,12 +802,17 @@ class SchedulerApp:
     def shutdown(self) -> None:
         """Stop the worker threads (queued tasks are abandoned)."""
         self._stop.set()
-        for worker in self._workers:
-            worker.join(timeout=2.0)
-        if self._reaper is not None:
-            self._reaper.join(timeout=2.0)
-        self._workers.clear()
-        self._reaper = None
+        # Snapshot under the lock: _respawn_dead_workers mutates the
+        # list concurrently until the threads see the stop flag.
         with self._lock:
+            workers = list(self._workers)
+            reaper = self._reaper
+        for worker in workers:
+            worker.join(timeout=2.0)
+        if reaper is not None:
+            reaper.join(timeout=2.0)
+        with self._lock:
+            self._workers.clear()
+            self._reaper = None
             self._started = False
         self._stop = threading.Event()

@@ -135,7 +135,8 @@ class BatchSystem:
             self._lock.notify_all()
 
     def total_slots(self) -> int:
-        return sum(machine.slots for machine in self._machines)
+        with self._lock:
+            return sum(machine.slots for machine in self._machines)
 
     # -------------------------------------------------------------- submit
 

@@ -133,8 +133,9 @@ class SimplePool:
                 self._tasks.put(None)
 
     def join(self) -> None:
-        if not self._closed:
-            raise StateError("join() requires close() first")
+        with self._lock:
+            if not self._closed:
+                raise StateError("join() requires close() first")
         for thread in self._threads:
             thread.join()
 

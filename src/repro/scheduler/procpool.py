@@ -519,9 +519,9 @@ class ProcessPool:
 
     def join(self, timeout: float = 60.0) -> None:
         """Block until every submitted envelope has a terminal outcome."""
-        if not self._closed:
-            raise StateError("join() requires close() first")
         with self._state:
+            if not self._closed:
+                raise StateError("join() requires close() first")
             if not self._state.wait_for(
                 lambda: not self._pending and not self._inflight,
                 timeout=timeout,

@@ -8,7 +8,7 @@ failing a single behavioural test.  This suite is the tripwire.
 
 import os
 
-from repro.analysis import lint_paths
+from repro.analysis import deep_lint_paths, lint_paths
 
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -52,6 +52,25 @@ def test_whole_tree_has_zero_unbaselined_errors():
     assert findings == [], "\n".join(
         f"{f.file}:{f.line} {f.rule_id} {f.message}" for f in findings
     )
+
+
+def test_deep_passes_self_host_clean():
+    """`repro lint --deep` self-hosts: the whole-program passes (lockset
+    races, determinism taint, layering) find nothing unsuppressed in
+    our own tree — at *any* severity, so the race-warning ratchet holds
+    too."""
+    findings = deep_lint_paths([SRC])
+    assert findings == [], "\n".join(
+        f"{f.file}:{f.line} {f.rule_id} {f.message}" for f in findings
+    )
+
+
+def test_deep_lint_cli_exit_code():
+    """The CI contract end-to-end: `repro lint --deep --strict` over
+    src/repro exits 0."""
+    from repro.cli import main
+
+    assert main(["lint", "--deep", "--strict", SRC]) == 0
 
 
 def test_scheduler_lock_discipline_warnings_clean():

@@ -36,6 +36,7 @@ import os
 import sys
 import time
 
+from repro.common.hostinfo import effective_cores
 from repro.scheduler.pool import SimplePool
 from repro.scheduler.procpool import JobEnvelope, ProcessPool
 from repro.sim.testing import boot_shard_job
@@ -50,13 +51,6 @@ MIN_CORES_FOR_FLOOR = 4
 WORKERS = 4
 SHARD = 16
 REPEATS = 4000
-
-
-def effective_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:
-        return os.cpu_count() or 1
 
 
 def payloads():

@@ -31,7 +31,10 @@ from repro.art.artifact import (
 from repro.art.run import Gem5Run, RunStatus
 from repro.art.spec import RunSpec
 from repro.art.cache import RunCache
+from repro.art.checkpoints import CheckpointStore
 from repro.art.tasks import (
+    group_runs_by_prefix,
+    run_boot_stage,
     run_job,
     run_jobs_pool,
     run_jobs_scheduler,
@@ -58,6 +61,9 @@ __all__ = [
     "RunStatus",
     "RunSpec",
     "RunCache",
+    "CheckpointStore",
+    "group_runs_by_prefix",
+    "run_boot_stage",
     "run_job",
     "run_jobs_pool",
     "run_jobs_scheduler",

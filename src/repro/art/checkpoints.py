@@ -1,0 +1,283 @@
+"""Boot-checkpoint storage keyed on RunSpec prefix fingerprints.
+
+The paper's Fig-8 boot sweep re-simulates Linux boot for every variant,
+even though most variants differ only in *measured-region* axes (CPU
+model, memory technology, benchmark).  :class:`CheckpointStore` makes the
+boot a shared, content-addressed stage: a
+:class:`~repro.sim.checkpoint.Checkpoint` is archived under the
+:meth:`~repro.art.spec.RunSpec.prefix_fingerprint` of the runs that can
+legally restore it, so N variants sharing a boot prefix pay for exactly
+one boot.
+
+Single-flight **boot leadership** reuses the broker's in-flight registry
+(:class:`~repro.scheduler.broker.SingleFlight`): of N concurrent
+``get_or_boot`` calls for one prefix, exactly one becomes the leader and
+boots; the rest wait on the leader's completion event and adopt the
+stored checkpoint.
+
+Failure modes degrade, never escalate — exactly like the run cache.  The
+chaos point ``checkpoint.get`` can inject read faults; a missing entry,
+a missing blob, or a corrupt blob (the FileStore is content-addressed,
+so corruption is self-detecting) all count as a miss and fall back to a
+full boot.  A corrupt entry is evicted blob-and-all so the re-boot can
+heal the store.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import chaos, telemetry
+from repro.common.errors import (
+    CorruptBlobError,
+    FaultInjectedError,
+    NotFoundError,
+)
+from repro.common.ids import new_uuid
+from repro.common.jsonutil import canonical_dumps, loads
+from repro.common.timeutil import iso_now
+from repro.art.db import ArtifactDB
+from repro.scheduler.broker import SingleFlight
+from repro.sim.checkpoint import Checkpoint
+
+
+def _hits_counter():
+    return telemetry.get_metrics().counter(
+        "checkpoint_hits_total",
+        "Boots avoided by restoring an archived checkpoint",
+    )
+
+
+def _misses_counter():
+    return telemetry.get_metrics().counter(
+        "checkpoint_misses_total",
+        "Checkpoint consultations that fell back to a full boot",
+    )
+
+
+def _boots_counter():
+    return telemetry.get_metrics().counter(
+        "checkpoint_boots_total",
+        "Full boots executed to populate the checkpoint store",
+    )
+
+
+class CheckpointStore:
+    """Prefix fingerprint → archived boot checkpoint, over an ArtifactDB.
+
+    The checkpoint *document* lives in the ``checkpoints`` collection
+    (unique on ``prefix``); the checkpoint *payload* — its canonical
+    JSON — lives in the content-addressed FileStore, so integrity
+    verification is a re-download away.
+    """
+
+    def __init__(self, db: ArtifactDB):
+        self.db = db
+        self._flight = SingleFlight()
+        self._boot_done_lock = threading.Lock()
+        self._boot_done: Dict[str, threading.Event] = {}
+
+    # -------------------------------------------------------------- lookup
+
+    def lookup(self, prefix: str) -> Optional[Dict[str, Any]]:
+        """The raw store entry for a prefix fingerprint, or None."""
+        return self.db.get_checkpoint_entry(prefix)
+
+    def get(self, prefix: Optional[str]) -> Optional[Checkpoint]:
+        """Fetch and *verify* a checkpoint; None means boot in full.
+
+        Fires the ``checkpoint.get`` chaos point; an injected read
+        fault, a missing entry/blob, or a corrupt blob all degrade to a
+        miss (the full boot always remains the slow path).  Corruption
+        evicts the entry and its blob so the next boot re-populates a
+        pristine content address.
+        """
+        if prefix is None:
+            return None
+        try:
+            chaos.fire("checkpoint.get", prefix=prefix)
+            entry = self.lookup(prefix)
+        except FaultInjectedError as error:
+            telemetry.get_event_log().emit(
+                "checkpoint.error", prefix=prefix, error=str(error)
+            )
+            self._miss(prefix, reason="read-fault")
+            return None
+        if entry is None:
+            self._miss(prefix, reason="absent")
+            return None
+        try:
+            payload = self.db.download_file(entry["file_id"])
+            checkpoint = Checkpoint.from_dict(loads(payload.decode("utf-8")))
+        except CorruptBlobError as error:
+            telemetry.get_event_log().emit(
+                "checkpoint.corrupt",
+                prefix=prefix,
+                checkpoint_id=entry.get("checkpoint_id"),
+                error=str(error),
+            )
+            self.db.delete_checkpoint_entry(prefix)
+            # Purge the rotten blob: the store is dedup-by-digest, so
+            # only an empty address lets the fallback boot re-archive
+            # pristine bytes under the same content hash.
+            self.db.delete_file(entry["file_id"])
+            self._miss(prefix, reason="corrupt")
+            return None
+        except (NotFoundError, FaultInjectedError) as error:
+            telemetry.get_event_log().emit(
+                "checkpoint.error", prefix=prefix, error=str(error)
+            )
+            self._miss(prefix, reason="blob-missing")
+            return None
+        self._hit(prefix, entry)
+        return checkpoint
+
+    def _hit(self, prefix: str, entry: Dict[str, Any]) -> None:
+        _hits_counter().inc(boot_type=entry.get("boot_type", "unknown"))
+        self.db.update_checkpoint_entry(prefix, {"$inc": {"restores": 1}})
+        telemetry.get_event_log().emit(
+            "checkpoint.hit",
+            prefix=prefix,
+            checkpoint_id=entry.get("checkpoint_id"),
+        )
+
+    def _miss(self, prefix: str, reason: str) -> None:
+        _misses_counter().inc(reason=reason)
+        telemetry.get_event_log().emit(
+            "checkpoint.miss", prefix=prefix, reason=reason
+        )
+
+    # --------------------------------------------------------------- store
+
+    def store(self, prefix: str, checkpoint: Checkpoint) -> bool:
+        """Archive a boot checkpoint under its prefix fingerprint.
+
+        Idempotent and first-writer-wins, like the run cache: once a
+        prefix has a checkpoint, concurrent boots that lost the race do
+        not overwrite it.  Returns True when a new entry was written.
+        """
+        if self.db.get_checkpoint_entry(prefix) is not None:
+            return False
+        payload = canonical_dumps(checkpoint.to_dict()).encode("utf-8")
+        file_id = self.db.upload_file(
+            payload, filename=f"checkpoint-{checkpoint.checkpoint_id}.json"
+        )
+        entry = {
+            "_id": f"ckpt-{prefix}",
+            "prefix": prefix,
+            "checkpoint_id": checkpoint.checkpoint_id,
+            "file_id": file_id,
+            "kernel_version": checkpoint.kernel_version,
+            "boot_type": checkpoint.boot_type,
+            "num_cpus": checkpoint.num_cpus,
+            "memory_system": checkpoint.memory_system,
+            "boot_seconds": checkpoint.boot_seconds,
+            "restores": 0,
+            "stored_at_wall": iso_now(),
+        }
+        self.db.put_checkpoint_entry(entry)
+        telemetry.get_event_log().emit(
+            "checkpoint.store",
+            prefix=prefix,
+            checkpoint_id=checkpoint.checkpoint_id,
+        )
+        return True
+
+    # ----------------------------------------------------- boot leadership
+
+    def get_or_boot(
+        self,
+        prefix: str,
+        boot: Callable[[], Optional[Checkpoint]],
+        wait_timeout: Optional[float] = None,
+    ) -> Optional[Checkpoint]:
+        """Adopt the prefix's checkpoint, booting (once) if absent.
+
+        Of N concurrent callers for one prefix, exactly one acquires
+        boot leadership via the broker's in-flight registry and runs
+        ``boot``; the others wait for the leader and adopt what it
+        stored.  ``boot`` returning None (an unbootable platform) is a
+        valid outcome: everyone degrades to their own full run, but the
+        boot was still attempted exactly once for the cohort.
+        """
+        found = self.get(prefix)
+        if found is not None:
+            return found
+        # The completion event must exist before the leadership race is
+        # decided, or a follower could acquire after the leader released
+        # and wait on nothing.
+        with self._boot_done_lock:
+            done = self._boot_done.setdefault(prefix, threading.Event())
+        token = new_uuid()
+        leader = self._flight.acquire(prefix, token)
+        if leader is None:
+            try:
+                _boots_counter().inc()
+                telemetry.get_event_log().emit(
+                    "checkpoint.boot", prefix=prefix, leader=token
+                )
+                checkpoint = boot()
+                if checkpoint is not None:
+                    self.store(prefix, checkpoint)
+                return checkpoint
+            finally:
+                self._flight.release(prefix, token)
+                with self._boot_done_lock:
+                    self._boot_done.pop(prefix, None)
+                done.set()
+        done.wait(timeout=wait_timeout)
+        return self.get(prefix)
+
+    def boot_leader(self, prefix: str) -> Optional[str]:
+        """The in-flight boot leader's token for a prefix, if any."""
+        return self._flight.leader(prefix)
+
+    # ------------------------------------------------------------- hygiene
+
+    def gc(self, live_prefixes) -> int:
+        """Evict checkpoints whose prefix no longer has live run specs.
+
+        ``live_prefixes`` is the set of prefix fingerprints still
+        reachable from run documents; everything else is an orphaned
+        boot (rebuilt disk image, retired kernel) and is dropped,
+        blob included.  Returns the number of entries evicted.
+        """
+        live = set(live_prefixes)
+        evicted = 0
+        for entry in self.db.checkpoint_entries():
+            if entry["prefix"] in live:
+                continue
+            self.db.delete_checkpoint_entry(entry["prefix"])
+            self.db.delete_file(entry["file_id"])
+            telemetry.get_event_log().emit(
+                "checkpoint.gc",
+                prefix=entry["prefix"],
+                checkpoint_id=entry.get("checkpoint_id"),
+            )
+            evicted += 1
+        return evicted
+
+    # --------------------------------------------------------------- query
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every checkpoint entry, in insertion order."""
+        return self.db.checkpoint_entries()
+
+    def stats(self) -> Dict[str, Any]:
+        """Summary counts for ``repro ckpt stats``."""
+        entries = self.entries()
+        by_boot_type: Dict[str, int] = {}
+        restores = 0
+        boot_seconds = 0.0
+        for entry in entries:
+            boot_type = entry.get("boot_type") or "unknown"
+            by_boot_type[boot_type] = by_boot_type.get(boot_type, 0) + 1
+            restores += int(entry.get("restores") or 0)
+            boot_seconds += float(entry.get("boot_seconds") or 0.0)
+        return {
+            "entries": len(entries),
+            "restores": restores,
+            "boot_seconds_archived": boot_seconds,
+            "by_boot_type": by_boot_type,
+        }

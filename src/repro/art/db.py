@@ -16,6 +16,7 @@ from repro.db import Database, connect
 ARTIFACTS = "artifacts"
 RUNS = "runs"
 RUN_CACHE = "run_cache"
+CHECKPOINTS = "checkpoints"
 
 
 class ArtifactDB:
@@ -26,10 +27,14 @@ class ArtifactDB:
         self.artifacts = self.database.collection(ARTIFACTS)
         self.runs = self.database.collection(RUNS)
         self.run_cache = self.database.collection(RUN_CACHE)
+        self.checkpoints = self.database.collection(CHECKPOINTS)
         self.artifacts.create_unique_index("hash")
         # One archived result per fingerprint: the memoization layer's
         # equivalent of the artifact collection's no-duplicates rule.
         self.run_cache.create_unique_index("fingerprint")
+        # One boot checkpoint per prefix fingerprint: N variants sharing
+        # a boot prefix must converge on one snapshot.
+        self.checkpoints.create_unique_index("prefix")
 
     # ---------------------------------------------------------- artifacts
 
@@ -115,6 +120,27 @@ class ArtifactDB:
 
     def cache_entries(self, query=None) -> List[Dict[str, Any]]:
         return self.run_cache.find(query)
+
+    # --------------------------------------------------------- checkpoints
+
+    def put_checkpoint_entry(self, document: Dict[str, Any]) -> str:
+        return self.checkpoints.insert_one(document)
+
+    def get_checkpoint_entry(
+        self, prefix: str
+    ) -> Optional[Dict[str, Any]]:
+        return self.checkpoints.find_one({"prefix": prefix})
+
+    def update_checkpoint_entry(
+        self, prefix: str, update: Dict[str, Any]
+    ) -> bool:
+        return self.checkpoints.update_one({"prefix": prefix}, update)
+
+    def delete_checkpoint_entry(self, prefix: str) -> bool:
+        return self.checkpoints.delete_one({"prefix": prefix})
+
+    def checkpoint_entries(self, query=None) -> List[Dict[str, Any]]:
+        return self.checkpoints.find(query)
 
     # --------------------------------------------------------------- misc
 

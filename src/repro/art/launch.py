@@ -27,8 +27,14 @@ from repro.common.timeutil import iso_now
 from repro import telemetry
 from repro.art.artifact import Artifact
 from repro.art.db import ArtifactDB
+from repro.art.checkpoints import CheckpointStore
 from repro.art.run import Gem5Run, RunStatus
-from repro.art.tasks import run_job, run_jobs_pool, run_jobs_scheduler
+from repro.art.tasks import (
+    run_boot_stage,
+    run_job,
+    run_jobs_pool,
+    run_jobs_scheduler,
+)
 
 #: Artifact roles a full-system stack must provide.
 FS_STACK_ROLES = (
@@ -192,6 +198,7 @@ class Experiment:
         substrate: str = "threads",
         tenant: str = "default",
         priority: str = "default",
+        use_checkpoints: bool = False,
     ) -> List[Dict[str, Any]]:
         """Execute every run via the chosen backend and return summaries.
 
@@ -218,6 +225,12 @@ class Experiment:
         admission-control coordinates the campaign submits under: an
         interactive debug sweep can jump the queue ahead of a bulk
         cross product, and a shared service can meter each tenant.
+
+        ``use_checkpoints`` turns the launch into a staged pipeline:
+        the pending runs are grouped by boot-prefix fingerprint, one
+        boot checkpoint is taken per unique prefix (single-flighted),
+        and each point then restores from its cohort's checkpoint
+        instead of re-booting (the CLI's ``--checkpoints``).
         """
         if self._runs is None:
             self.create_runs()
@@ -236,6 +249,7 @@ class Experiment:
             substrate=substrate,
             tenant=tenant,
             priority=priority,
+            use_checkpoints=use_checkpoints,
         )
 
     def resume(
@@ -247,6 +261,7 @@ class Experiment:
         substrate: str = "threads",
         tenant: str = "default",
         priority: str = "default",
+        use_checkpoints: bool = False,
     ) -> List[Dict[str, Any]]:
         """Re-launch only the runs an interrupted campaign still owes.
 
@@ -275,6 +290,7 @@ class Experiment:
             substrate=substrate,
             tenant=tenant,
             priority=priority,
+            use_checkpoints=use_checkpoints,
         )
 
     def pending_runs(self, retry_failures: bool = False) -> List[str]:
@@ -301,6 +317,7 @@ class Experiment:
         substrate: str = "threads",
         tenant: str = "default",
         priority: str = "default",
+        use_checkpoints: bool = False,
     ) -> List[Dict[str, Any]]:
         if backend not in ("pool", "scheduler", "inline"):
             raise ValidationError(
@@ -321,6 +338,7 @@ class Experiment:
                 "runs": len(pending),
                 "use_cache": use_cache,
                 "substrate": substrate,
+                "use_checkpoints": use_checkpoints,
             },
         )
         telemetry.get_event_log().emit(
@@ -337,14 +355,13 @@ class Experiment:
             workers=workers,
             pending=len(pending),
         )
+        store: Optional[CheckpointStore] = None
+        if use_checkpoints and pending:
+            store = CheckpointStore(self.db)
         interrupted = True
         try:
             with span:
-                if backend == "pool":
-                    run_jobs_pool(
-                        pending, processes=workers, use_cache=use_cache
-                    )
-                elif backend == "scheduler":
+                if backend == "scheduler":
                     run_jobs_scheduler(
                         pending,
                         worker_count=workers,
@@ -352,10 +369,30 @@ class Experiment:
                         substrate=substrate,
                         tenant=tenant,
                         priority=priority,
+                        use_checkpoints=use_checkpoints,
+                        checkpoint_store=store,
                     )
                 else:
-                    for run in pending:
-                        run_job(run, use_cache=use_cache)
+                    # pool/inline backends stage the boot phase here;
+                    # the scheduler backend stages it internally.
+                    if store is not None:
+                        run_boot_stage(
+                            pending, store, worker_count=workers
+                        )
+                    if backend == "pool":
+                        run_jobs_pool(
+                            pending,
+                            processes=workers,
+                            use_cache=use_cache,
+                            checkpoint_store=store,
+                        )
+                    else:
+                        for run in pending:
+                            run_job(
+                                run,
+                                use_cache=use_cache,
+                                checkpoint_store=store,
+                            )
             interrupted = False
         finally:
             # The journal survives a crash here: a campaign killed

@@ -33,22 +33,32 @@ from repro import telemetry
 from repro.common.errors import StateError, ValidationError
 from repro.common.hashing import sha256_text
 from repro.art.artifact import Artifact, load_disk_image
-from repro.scheduler.procpool import JobEnvelope
+from repro.scheduler.procpool import JobEnvelope, intern_ref
+from repro.sim.checkpoint import Checkpoint
 
 #: The dotted-path target every run envelope resolves to in the worker.
 RUN_TARGET = "repro.art.procjobs:execute_run_payload"
+
+#: The dotted-path target for a boot-stage checkpoint job.
+BOOT_TARGET = "repro.art.procjobs:execute_boot_payload"
 
 #: Payload schema version (payloads cross process boundaries, not
 #: release boundaries, but a version makes mismatches loud).
 PAYLOAD_VERSION = 1
 
 
-def payload_for_run(run, repeats: int = 1) -> Dict[str, Any]:
+def payload_for_run(
+    run,
+    repeats: int = 1,
+    restore_from: Optional[Checkpoint] = None,
+) -> Dict[str, Any]:
     """Build the self-contained, picklable payload for one run.
 
     Resolves every artifact reference *now*, in the parent — the worker
     never sees the database.  ``repeats`` re-runs the simulation that
     many times in the worker, asserting identical stats each time.
+    ``restore_from`` makes the worker restore a boot checkpoint instead
+    of booting (the planner's variant-stage fan-out).
     """
     if repeats < 1:
         raise ValidationError("repeats must be >= 1")
@@ -71,17 +81,50 @@ def payload_for_run(run, repeats: int = 1) -> Dict[str, Any]:
         }
         payload["kernel_version"] = kernel.metadata["kernel_version"]
         payload["disk_image"] = load_disk_image(disk).to_dict()
+        if restore_from is not None:
+            payload["restore_from"] = restore_from.to_dict()
     elif run.kind == "gpu":
-        pass  # params alone describe a GPU run (workload is a catalog key)
+        if restore_from is not None:
+            raise ValidationError("only fs runs restore boot checkpoints")
+        # params alone describe a GPU run (workload is a catalog key)
     else:
         raise ValidationError(f"unknown run kind {run.kind!r}")
     return payload
+
+
+def _interned_payload(
+    run, payload: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Replace the payload's bulk values with :func:`intern_ref` s.
+
+    Returns ``(payload', shared)`` folded into one dict under the keys
+    the envelope needs, or None when the payload has nothing worth
+    interning.  The disk image tree dominates an fs payload's pickled
+    size and is identical across a sweep; the checkpoint document
+    repeats across every variant of a prefix.  Both are content-hashed
+    already, which is what makes the intern key free.
+    """
+    shared: Dict[str, Any] = {}
+    payload = dict(payload)
+    if "disk_image" in payload:
+        disk = Artifact.load(run.db, run.artifacts["disk_image"])
+        shared[disk.hash] = payload["disk_image"]
+        payload["disk_image"] = intern_ref(disk.hash)
+    restore = payload.get("restore_from")
+    if restore is not None:
+        shared[restore["checkpoint_id"]] = restore
+        payload["restore_from"] = intern_ref(restore["checkpoint_id"])
+    if not shared:
+        return None
+    return {"payload": payload, "shared": shared}
 
 
 def envelope_for_run(
     run,
     repeats: int = 1,
     with_telemetry: Optional[bool] = None,
+    restore_from: Optional[Checkpoint] = None,
+    intern: bool = True,
 ) -> JobEnvelope:
     """Wrap a run's payload in a process-pool envelope.
 
@@ -89,17 +132,96 @@ def envelope_for_run(
     ``fingerprint`` the run's content identity, so pool telemetry and
     lease events correlate with run documents without a join table.
     When ``with_telemetry`` is unset, the worker records telemetry
-    exactly when the parent currently does.
+    exactly when the parent currently does.  ``intern`` (default on)
+    ships the bulk payload values — disk image tree, checkpoint
+    document — through the pool's content-hash intern cache, so each
+    worker receives them at most once across the whole sweep.
     """
     telemetry_on = (
         telemetry.enabled() if with_telemetry is None else with_telemetry
     )
+    payload = payload_for_run(
+        run, repeats=repeats, restore_from=restore_from
+    )
+    shared: Dict[str, Any] = {}
+    if intern:
+        interned = _interned_payload(run, payload)
+        if interned is not None:
+            payload = interned["payload"]
+            shared = interned["shared"]
     return JobEnvelope(
         target=RUN_TARGET,
-        args=(payload_for_run(run, repeats=repeats),),
+        args=(payload,),
         task_id=run.run_id,
         fingerprint=run.fingerprint,
         telemetry=telemetry_on,
+        shared=shared,
+    )
+
+
+def boot_payload_for_run(
+    run, boot_cpu: str = "kvm"
+) -> Dict[str, Any]:
+    """Build the boot-stage payload for one prefix's checkpoint job.
+
+    ``run`` is any representative of the prefix cohort: the payload
+    carries only the boot-determining subset (kernel, disk image,
+    platform shape, boot type) plus ``boot_cpu`` — the cheap CPU model
+    the boot executes under (kvm by default, which the fault model
+    supports on every platform shape).
+    """
+    if run.kind != "fs":
+        raise ValidationError("only fs runs have a boot stage")
+    params = dict(run.params)
+    gem5 = Artifact.load(run.db, run.artifacts["gem5"])
+    kernel = Artifact.load(run.db, run.artifacts["linux_binary"])
+    disk = Artifact.load(run.db, run.artifacts["disk_image"])
+    return {
+        "version": PAYLOAD_VERSION,
+        "kind": "fs",
+        "run_id": run.run_id,
+        "prefix": run.prefix,
+        "build": {
+            "version": gem5.metadata.get("version", "20.1.0.4"),
+            "isa": gem5.metadata.get("isa", "X86"),
+            "variant": gem5.metadata.get("variant", "opt"),
+        },
+        "kernel_version": kernel.metadata["kernel_version"],
+        "disk_image": load_disk_image(disk).to_dict(),
+        "params": {
+            "cpu_type": boot_cpu,
+            "num_cpus": params["num_cpus"],
+            "memory_system": params["memory_system"],
+            "memory_tech": params["memory_tech"],
+            "memory_channels": params["memory_channels"],
+            "boot_type": params.get("boot_type", "systemd"),
+        },
+    }
+
+
+def envelope_for_boot(
+    run,
+    boot_cpu: str = "kvm",
+    with_telemetry: Optional[bool] = None,
+    intern: bool = True,
+) -> JobEnvelope:
+    """Wrap a prefix cohort's boot job in a process-pool envelope."""
+    telemetry_on = (
+        telemetry.enabled() if with_telemetry is None else with_telemetry
+    )
+    payload = boot_payload_for_run(run, boot_cpu=boot_cpu)
+    shared: Dict[str, Any] = {}
+    if intern:
+        disk = Artifact.load(run.db, run.artifacts["disk_image"])
+        shared[disk.hash] = payload["disk_image"]
+        payload = dict(payload, disk_image=intern_ref(disk.hash))
+    return JobEnvelope(
+        target=BOOT_TARGET,
+        args=(payload,),
+        task_id=f"boot-{run.prefix}",
+        fingerprint=run.prefix or "",
+        telemetry=telemetry_on,
+        shared=shared,
     )
 
 
@@ -114,17 +236,35 @@ def execute_run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     kind = payload.get("kind")
     if kind == "fs":
-        execute = _execute_fs
+        # Hoisted out of the repeat loop: the image deserialization (and
+        # its memoized content hash), the checkpoint rebuild and the
+        # simulator construction are identical for every repeat of a
+        # deterministic simulation.
+        from repro.vfs.image import DiskImage
+
+        image = DiskImage.from_dict(payload["disk_image"])
+        restore = None
+        if payload.get("restore_from") is not None:
+            restore = Checkpoint.from_dict(payload["restore_from"])
+        simulator = _fs_simulator(payload)
+
+        def execute(p):
+            return _execute_fs(p, simulator, image, restore)
+
     elif kind == "gpu":
         execute = _execute_gpu
     else:
         raise ValidationError(f"unknown payload kind {kind!r}")
     repeats = int(payload.get("repeats", 1))
-    summary, stats_txt = execute(payload)
+    summary, result = execute(payload)
+    stats_txt = result.stats_txt()
     fingerprint = sha256_text(stats_txt)
+    # Repeats compare raw stats dicts — equivalent to comparing the
+    # rendered text (stats_txt derives from stats deterministically)
+    # without paying serialization+hash per repeat.
     for _ in range(repeats - 1):
         _, again = execute(payload)
-        if sha256_text(again) != fingerprint:
+        if again.stats != result.stats:
             raise StateError(
                 f"non-deterministic simulation: run {payload['run_id']} "
                 "produced different stats on repeat"
@@ -137,11 +277,41 @@ def execute_run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def _execute_fs(payload: Dict[str, Any]):
+def execute_boot_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side boot stage: boot once, return the checkpoint.
+
+    Imported by dotted path inside a spawned worker process.  Returns
+    ``{"checkpoint": dict-or-None, "summary": {...}}``; a boot that
+    fails the fault model yields no checkpoint and the cohort degrades
+    to full boots — degradation, never escalation.
+    """
+    from repro.vfs.image import DiskImage
+
+    params = payload["params"]
+    simulator = _fs_simulator(payload)
+    image = DiskImage.from_dict(payload["disk_image"])
+    checkpoint, result = simulator.take_boot_checkpoint(
+        kernel=payload["kernel_version"],
+        disk_image=image,
+        boot_type=params.get("boot_type", "systemd"),
+    )
+    return {
+        "prefix": payload.get("prefix"),
+        "checkpoint": None if checkpoint is None else checkpoint.to_dict(),
+        "summary": {
+            "simulation_status": result.status.value,
+            "reason": result.reason,
+            "boot_seconds": result.boot_seconds,
+            "instructions": result.instructions,
+        },
+    }
+
+
+def _fs_simulator(payload: Dict[str, Any]):
+    """Build the simulator a payload describes (once per envelope)."""
     from repro.sim.buildinfo import Gem5Build
     from repro.sim.config import SystemConfig
-    from repro.sim.simulator import Gem5Simulator, SimulationStatus
-    from repro.vfs.image import DiskImage
+    from repro.sim.simulator import Gem5Simulator
 
     params = payload["params"]
     build = Gem5Build(**payload["build"])
@@ -152,14 +322,25 @@ def _execute_fs(payload: Dict[str, Any]):
         memory_tech=params["memory_tech"],
         memory_channels=params["memory_channels"],
     )
-    simulator = Gem5Simulator(build, config)
-    image = DiskImage.from_dict(payload["disk_image"])
+    return Gem5Simulator(build, config)
+
+
+def _execute_fs(
+    payload: Dict[str, Any],
+    simulator,
+    image,
+    restore: Optional[Checkpoint] = None,
+):
+    from repro.sim.simulator import SimulationStatus
+
+    params = payload["params"]
     result = simulator.run_fs(
         kernel=payload["kernel_version"],
         disk_image=image,
         benchmark=params.get("benchmark"),
         input_size=params.get("input_size"),
         boot_type=params.get("boot_type", "systemd"),
+        restore_from=restore,
     )
     summary = {
         "simulation_status": result.status.value,
@@ -170,9 +351,10 @@ def _execute_fs(payload: Dict[str, Any]):
         "instructions": result.instructions,
         "config": result.config_summary,
         "workload": result.workload_name,
+        "restored_boot": restore is not None,
         "success": result.status is SimulationStatus.OK,
     }
-    return summary, result.stats_txt()
+    return summary, result
 
 
 def _execute_gpu(payload: Dict[str, Any]):
@@ -194,4 +376,4 @@ def _execute_gpu(payload: Dict[str, Any]):
         "occupancy_per_simd": result.occupancy_per_simd,
         "success": True,
     }
-    return summary, result.stats_txt()
+    return summary, result

@@ -40,6 +40,7 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.device import GPUDevice
 from repro.gpu.workloads import get_gpu_workload
 from repro.sim.buildinfo import Gem5Build
+from repro.sim.checkpoint import Checkpoint
 from repro.sim.config import SystemConfig
 from repro.sim.simulator import Gem5Simulator, SimulationStatus
 
@@ -248,9 +249,26 @@ class Gem5Run:
             doc["kind"], artifact_objects, doc["params"]
         )
 
+    # ------------------------------------------------------------ identity
+
+    @property
+    def prefix(self) -> Optional[str]:
+        """The boot-prefix fingerprint of this run's spec, or None.
+
+        All runs sharing a prefix may legally restore one boot
+        checkpoint (see :meth:`repro.art.spec.RunSpec.prefix_fingerprint`).
+        """
+        if self.spec is None:
+            return None
+        return self.spec.prefix_fingerprint()
+
     # ----------------------------------------------------------- execution
 
-    def run(self, use_cache: bool = True) -> Dict[str, object]:
+    def run(
+        self,
+        use_cache: bool = True,
+        checkpoint_store=None,
+    ) -> Dict[str, object]:
         """Execute the simulation — or adopt its memoized result — and
         archive the outcome.
 
@@ -263,6 +281,12 @@ class Gem5Run:
         run executes and, if it reaches ``DONE``, its outcome is stored
         for every future identical run.  ``use_cache=False`` forces a
         fresh execution and leaves the cache untouched.
+
+        With ``checkpoint_store`` (a
+        :class:`~repro.art.checkpoints.CheckpointStore`), an fs run
+        consults the store by its prefix fingerprint and restores the
+        archived boot instead of re-simulating it; a missing, corrupt
+        or incompatible checkpoint degrades to a full boot.
 
         With telemetry enabled, the run is wrapped in a ``run`` span
         (parenting the simulator's phase spans) and its span subtree is
@@ -279,7 +303,9 @@ class Gem5Run:
         )
         try:
             with span:
-                summary = self._run_or_adopt(use_cache, span)
+                summary = self._run_or_adopt(
+                    use_cache, span, checkpoint_store
+                )
                 span.set_attribute("status", self.status.value)
                 span.set_attribute(
                     "workload", summary.get("workload", "")
@@ -296,7 +322,11 @@ class Gem5Run:
         return summary
 
     def run_in_pool(
-        self, pool, use_cache: bool = True, repeats: int = 1
+        self,
+        pool,
+        use_cache: bool = True,
+        repeats: int = 1,
+        checkpoint_store=None,
     ) -> Dict[str, object]:
         """Execute this run on a process-pool substrate.
 
@@ -319,7 +349,7 @@ class Gem5Run:
         try:
             with span:
                 summary = self._run_or_adopt_in_pool(
-                    pool, use_cache, repeats, span
+                    pool, use_cache, repeats, span, checkpoint_store
                 )
                 span.set_attribute("status", self.status.value)
                 span.set_attribute(
@@ -334,7 +364,7 @@ class Gem5Run:
         return summary
 
     def _run_or_adopt_in_pool(
-        self, pool, use_cache: bool, repeats: int, span
+        self, pool, use_cache: bool, repeats: int, span, checkpoint_store
     ) -> Dict[str, object]:
         from repro.art.procjobs import envelope_for_run
 
@@ -347,7 +377,18 @@ class Gem5Run:
                 span.set_attribute("cache", "hit")
                 return self.adopt_cached(entry)
             span.set_attribute("cache", "miss")
-        envelope = envelope_for_run(self, repeats=repeats)
+        restore = None
+        if checkpoint_store is not None and self.kind == "fs":
+            # Full compatibility (including the image hash) is
+            # re-verified inside the worker; the prefix key already
+            # guarantees it, so a mismatch there is a loud failure,
+            # not a silent wrong restore.
+            restore = checkpoint_store.get(self.prefix)
+        if restore is not None:
+            span.set_attribute("boot", "restored")
+        envelope = envelope_for_run(
+            self, repeats=repeats, restore_from=restore
+        )
         self._set_status(
             RunStatus.RUNNING, extra={"started_at_wall": iso_now()}
         )
@@ -383,7 +424,9 @@ class Gem5Run:
             cache.store(self.fingerprint, self.db.get_run(self.run_id))
         return summary
 
-    def _run_or_adopt(self, use_cache: bool, span) -> Dict[str, object]:
+    def _run_or_adopt(
+        self, use_cache: bool, span, checkpoint_store=None
+    ) -> Dict[str, object]:
         cache = (
             RunCache(self.db) if use_cache and self.fingerprint else None
         )
@@ -393,7 +436,7 @@ class Gem5Run:
                 span.set_attribute("cache", "hit")
                 return self.adopt_cached(entry)
             span.set_attribute("cache", "miss")
-        summary = self._run_guarded()
+        summary = self._run_guarded(checkpoint_store)
         if cache is not None and self.status is RunStatus.DONE:
             cache.store(self.fingerprint, self.db.get_run(self.run_id))
         return summary
@@ -415,14 +458,14 @@ class Gem5Run:
         )
         return results
 
-    def _run_guarded(self) -> Dict[str, object]:
+    def _run_guarded(self, checkpoint_store=None) -> Dict[str, object]:
         self._set_status(
             RunStatus.RUNNING, extra={"started_at_wall": iso_now()}
         )
         started = time.monotonic()
         try:
             if self.kind == "fs":
-                summary = self._run_fs()
+                summary = self._run_fs(checkpoint_store)
             elif self.kind == "gpu":
                 summary = self._run_gpu()
             else:
@@ -461,7 +504,8 @@ class Gem5Run:
             kind="run",
         )
 
-    def _run_fs(self) -> Dict[str, object]:
+    def _fs_inputs(self):
+        """Reconstruct (build, kernel_version, image) from the artifacts."""
         gem5_artifact = Artifact.load(self.db, self.artifacts["gem5"])
         kernel_artifact = Artifact.load(
             self.db, self.artifacts["linux_binary"]
@@ -472,6 +516,75 @@ class Gem5Run:
             isa=gem5_artifact.metadata.get("isa", "X86"),
             variant=gem5_artifact.metadata.get("variant", "opt"),
         )
+        kernel_version = kernel_artifact.metadata["kernel_version"]
+        image = load_disk_image(disk_artifact)
+        return build, kernel_version, image
+
+    def _consult_checkpoint(
+        self, store, kernel_version: str, image
+    ) -> Optional[Checkpoint]:
+        """Fetch this run's boot checkpoint, degrading on any doubt.
+
+        The store's ``get`` already degrades on missing/corrupt entries;
+        this layer additionally re-verifies restore compatibility and
+        treats a mismatch as a miss (full boot) rather than a failure —
+        a stale or hand-edited store must never wedge a sweep.
+        """
+        if store is None or self.kind != "fs":
+            return None
+        prefix = self.prefix
+        if prefix is None:
+            return None
+        checkpoint = store.get(prefix)
+        if checkpoint is None:
+            return None
+        try:
+            checkpoint.check_compatible(
+                kernel_version=kernel_version,
+                disk_image_hash=image.content_hash(),
+                num_cpus=self.params["num_cpus"],
+                memory_system=self.params["memory_system"],
+            )
+        except ValidationError as error:
+            telemetry.get_event_log().emit(
+                "checkpoint.incompatible",
+                run_id=self.run_id,
+                prefix=prefix,
+                error=str(error),
+            )
+            return None
+        return checkpoint
+
+    def take_boot_checkpoint(
+        self, boot_cpu: str = "kvm"
+    ) -> Optional[Checkpoint]:
+        """Boot this run's prefix once and capture a checkpoint.
+
+        The boot stage of the staged planner: executed under a cheap CPU
+        model (kvm by default — supported on every platform shape) on
+        this run's platform shape and boot type.  Returns None when the
+        boot itself fails; the cohort then degrades to full boots.
+        """
+        if self.kind != "fs":
+            return None
+        build, kernel_version, image = self._fs_inputs()
+        config = SystemConfig(
+            cpu_type=boot_cpu,
+            num_cpus=self.params["num_cpus"],
+            memory_system=self.params["memory_system"],
+            memory_tech=self.params["memory_tech"],
+            memory_channels=self.params["memory_channels"],
+        )
+        simulator = Gem5Simulator(build, config)
+        checkpoint, _ = simulator.take_boot_checkpoint(
+            kernel=kernel_version,
+            disk_image=image,
+            boot_type=self.params.get("boot_type", "systemd"),
+        )
+        return checkpoint
+
+    def _run_fs(self, checkpoint_store=None) -> Dict[str, object]:
+        build, kernel_version, image = self._fs_inputs()
         config = SystemConfig(
             cpu_type=self.params["cpu_type"],
             num_cpus=self.params["num_cpus"],
@@ -480,13 +593,16 @@ class Gem5Run:
             memory_channels=self.params["memory_channels"],
         )
         simulator = Gem5Simulator(build, config)
-        image = load_disk_image(disk_artifact)
+        restore = self._consult_checkpoint(
+            checkpoint_store, kernel_version, image
+        )
         result = simulator.run_fs(
-            kernel=kernel_artifact.metadata["kernel_version"],
+            kernel=kernel_version,
             disk_image=image,
             benchmark=self.params.get("benchmark"),
             input_size=self.params.get("input_size"),
             boot_type=self.params.get("boot_type", "systemd"),
+            restore_from=restore,
         )
         stats_file_id = self.db.upload_file(
             result.stats_txt().encode("utf-8"),
@@ -502,6 +618,7 @@ class Gem5Run:
             "config": result.config_summary,
             "workload": result.workload_name,
             "stats_file_id": stats_file_id,
+            "restored_boot": restore is not None,
             "success": result.status is SimulationStatus.OK,
         }
 

@@ -37,8 +37,25 @@ from repro.common.jsonutil import canonical_dumps, loads
 #: fingerprints can never silently alias new ones.
 SPEC_SCHEMA_VERSION = 1
 
+#: Bumped independently of :data:`SPEC_SCHEMA_VERSION` whenever the
+#: *prefix* serialization changes shape — prefix fingerprints key boot
+#: checkpoints, and an old checkpoint must never alias a new prefix.
+PREFIX_SCHEMA_VERSION = 1
+
 #: Run kinds a spec may describe.
 KNOWN_KINDS = ("fs", "gpu")
+
+#: Artifact roles that determine the booted guest state.  The gem5
+#: binary/repo and run script are excluded: they shape the *measured*
+#: region, not the kernel+disk state a checkpoint snapshots.
+PREFIX_ARTIFACT_ROLES = ("linux_binary", "disk_image")
+
+#: Parameters that determine the booted platform shape.  This is exactly
+#: the :class:`repro.sim.checkpoint.Checkpoint` compatibility identity
+#: (core count, memory system) plus the boot path taken to get there.
+#: CPU type is deliberately excluded — booting under kvm and restoring
+#: under O3 is the whole point of checkpointing.
+PREFIX_PARAM_KEYS = ("num_cpus", "memory_system", "boot_type")
 
 
 @dataclass(frozen=True)
@@ -121,6 +138,52 @@ class RunSpec:
         archived result.
         """
         return sha256_text(self.canonical_json())
+
+    def prefix_document(self) -> Optional[Dict[str, object]]:
+        """The boot-determining subset of this spec, or ``None``.
+
+        Covers the guest-state artifacts (kernel, disk image), the
+        platform-shape parameters, and the simulator build — everything
+        that decides *what a boot produces* — while excluding the
+        downstream-variant axes (cpu type, memory tech/channels,
+        benchmark, input size).  Two specs with equal prefix documents
+        can legally share one boot checkpoint.
+
+        Only full-system runs boot a guest; other kinds have no prefix.
+        """
+        if self.kind != "fs":
+            return None
+        artifacts = {
+            role: self.artifacts[role]
+            for role in PREFIX_ARTIFACT_ROLES
+            if role in self.artifacts
+        }
+        if not artifacts:
+            return None
+        return {
+            "schema": PREFIX_SCHEMA_VERSION,
+            "kind": self.kind,
+            "artifacts": artifacts,
+            "params": {
+                key: self.params[key]
+                for key in PREFIX_PARAM_KEYS
+                if key in self.params
+            },
+            "build": dict(self.build),
+        }
+
+    def prefix_fingerprint(self) -> Optional[str]:
+        """SHA-256 content address of the boot-determining prefix.
+
+        The key under which boot checkpoints are stored and shared: all
+        variant runs whose specs agree on this value may restore from
+        one boot.  ``None`` when the spec has no boot prefix (non-fs
+        kinds, or no guest-state artifacts).
+        """
+        document = self.prefix_document()
+        if document is None:
+            return None
+        return sha256_text(canonical_dumps(document))
 
     def uses_artifact_hash(self, content_hash: str) -> bool:
         """Does any input artifact of this spec have ``content_hash``?"""

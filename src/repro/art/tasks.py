@@ -9,9 +9,11 @@ can switch managers freely — exactly the flexibility Section IV-D claims.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from typing import Dict, List, Optional, Sequence
 
 from repro.art.cache import RunCache
+from repro.art.checkpoints import CheckpointStore
 from repro.art.run import Gem5Run
 from repro.common.errors import ValidationError
 from repro.scheduler import (
@@ -32,8 +34,16 @@ from repro.scheduler.batch import (
 )
 
 
-def run_job(run: Gem5Run, use_cache: bool = True) -> Dict[str, object]:
+def run_job(
+    run: Gem5Run,
+    use_cache: bool = True,
+    checkpoint_store: Optional[CheckpointStore] = None,
+) -> Dict[str, object]:
     """Execute one run synchronously (the no-scheduler option)."""
+    if checkpoint_store is not None:
+        return run.run(
+            use_cache=use_cache, checkpoint_store=checkpoint_store
+        )
     return run.run(use_cache=use_cache)
 
 
@@ -41,6 +51,7 @@ def run_jobs_pool(
     runs: Sequence[Gem5Run],
     processes: int = 4,
     use_cache: bool = True,
+    checkpoint_store: Optional[CheckpointStore] = None,
 ) -> List[Dict[str, object]]:
     """Execute runs through the multiprocessing-style pool, preserving
     input order in the returned summaries.
@@ -53,11 +64,104 @@ def run_jobs_pool(
 
     def execute(run: Gem5Run) -> Dict[str, object]:
         with tracer.activate(parent):
-            return run.run(use_cache=use_cache)
+            return run_job(
+                run,
+                use_cache=use_cache,
+                checkpoint_store=checkpoint_store,
+            )
 
     with SimplePool(processes=processes) as pool:
         handles = [pool.apply_async(execute, (run,)) for run in runs]
         return [handle.get() for handle in handles]
+
+
+def group_runs_by_prefix(
+    runs: Sequence[Gem5Run],
+) -> Dict[str, List[int]]:
+    """Group run indices by boot-prefix fingerprint.
+
+    The planner's first step: every key is one boot to pay for, every
+    value the variant cohort that shares it.  Runs without a prefix
+    (GPU runs, spec-less documents) are omitted — they have no boot
+    stage.
+    """
+    plan: Dict[str, List[int]] = {}
+    for index, run in enumerate(runs):
+        prefix = run.prefix
+        if prefix is None:
+            continue
+        plan.setdefault(prefix, []).append(index)
+    return plan
+
+
+def run_boot_stage(
+    runs: Sequence[Gem5Run],
+    store: CheckpointStore,
+    worker_count: int = 4,
+    pool: Optional[ProcessPool] = None,
+    boot_cpu: str = "kvm",
+) -> Dict[str, object]:
+    """Stage 1 of the planner: one boot checkpoint per unique prefix.
+
+    Groups the sweep by prefix fingerprint and drives one
+    ``take_boot_checkpoint`` job per group — inline on the calling
+    thread for the thread substrate, or as a boot envelope on the
+    process pool.  Boot leadership is single-flighted through the
+    store, so racing stages (or racing experiments sharing one store)
+    still produce exactly one boot per prefix.  Returns
+    ``{prefix: checkpoint-or-None}``; a None cohort degrades to full
+    boots downstream.
+    """
+    plan = group_runs_by_prefix(runs)
+
+    def boot_one(prefix: str) -> object:
+        representative = runs[plan[prefix][0]]
+        if pool is not None:
+            thunk = _pool_boot(representative, pool, boot_cpu)
+        else:
+            def thunk():
+                return representative.take_boot_checkpoint(
+                    boot_cpu=boot_cpu
+                )
+        return store.get_or_boot(prefix, thunk)
+
+    checkpoints: Dict[str, object] = {}
+    with get_tracer().span(
+        "stage.boot",
+        attributes={"prefixes": len(plan), "runs": len(runs)},
+    ):
+        if len(plan) <= 1:
+            for prefix in plan:
+                checkpoints[prefix] = boot_one(prefix)
+        else:
+            # Boots for distinct prefixes are independent; drive them
+            # concurrently (on the process substrate each thread only
+            # blocks on a pool handle, so worker processes fill up).
+            with SimplePool(
+                processes=min(worker_count, len(plan))
+            ) as boot_pool:
+                handles = {
+                    prefix: boot_pool.apply_async(boot_one, (prefix,))
+                    for prefix in plan
+                }
+                for prefix, handle in handles.items():
+                    checkpoints[prefix] = handle.get()
+    return checkpoints
+
+
+def _pool_boot(run: Gem5Run, pool: ProcessPool, boot_cpu: str):
+    """A boot thunk that ships the boot job to a worker process."""
+    from repro.art.procjobs import envelope_for_boot
+    from repro.sim.checkpoint import Checkpoint
+
+    def boot():
+        handle = pool.submit(envelope_for_boot(run, boot_cpu=boot_cpu))
+        outcome = handle.result()
+        if outcome.get("checkpoint") is None:
+            return None
+        return Checkpoint.from_dict(outcome["checkpoint"])
+
+    return boot
 
 
 def run_jobs_scheduler(
@@ -71,6 +175,10 @@ def run_jobs_scheduler(
     priority: str = "default",
     queue_limit: Optional[int] = None,
     admission: Optional[AdmissionController] = None,
+    use_checkpoints: bool = False,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    repeats: int = 1,
+    dispatch_batch: int = 1,
 ) -> List[Dict[str, object]]:
     """Execute runs through the Celery-like scheduler app.
 
@@ -108,6 +216,19 @@ def run_jobs_scheduler(
     exception here: its summary reports ``admission_rejected`` with the
     structured ``retry_after``, because a rejected point — like a timed
     out one — is a recorded outcome for the database.
+
+    With ``use_checkpoints`` the sweep runs as a **staged pipeline**:
+    the runs are grouped by boot-prefix fingerprint, a boot stage takes
+    one checkpoint per unique prefix (single-flighted through
+    ``checkpoint_store``, created on demand from the first run's
+    database when not supplied), and only then does the variant stage
+    fan out — each variant job carrying ``restore_from`` so it skips
+    the boot its cohort already paid for.  A prefix whose boot fails
+    degrades that cohort back to full boots; nothing is lost but time.
+
+    ``repeats`` amplifies each process-substrate job (one envelope, N
+    simulations); ``dispatch_batch`` sets how many queued jobs the
+    process pool ships to a worker per transport round-trip.
     """
     if substrate not in ("threads", "processes"):
         raise ValidationError(
@@ -115,7 +236,7 @@ def run_jobs_scheduler(
             "(expected 'threads' or 'processes')"
         )
     pool = (
-        ProcessPool(workers=worker_count)
+        ProcessPool(workers=worker_count, dispatch_batch=dispatch_batch)
         if substrate == "processes"
         else None
     )
@@ -125,14 +246,40 @@ def run_jobs_scheduler(
         queue_limit=queue_limit,
         admission=admission,
     )
+    store: Optional[CheckpointStore] = None
+    if use_checkpoints and runs:
+        store = checkpoint_store or CheckpointStore(runs[0].db)
 
     @app.task(name="gem5art.run_gem5_job", retry_policy=retry_policy)
     def run_gem5_job(index: int):
+        # Only pass the staged-pipeline kwargs when they are in play, so
+        # duck-typed run objects with the classic signature keep working.
         if pool is not None:
+            if store is not None or repeats != 1:
+                return runs[index].run_in_pool(
+                    pool,
+                    use_cache=use_cache,
+                    repeats=repeats,
+                    checkpoint_store=store,
+                )
             return runs[index].run_in_pool(pool, use_cache=use_cache)
+        if store is not None:
+            return runs[index].run(
+                use_cache=use_cache, checkpoint_store=store
+            )
         return runs[index].run(use_cache=use_cache)
 
+    stages = ExitStack()
     try:
+        if store is not None:
+            run_boot_stage(
+                runs, store, worker_count=worker_count, pool=pool
+            )
+            stages.enter_context(
+                get_tracer().span(
+                    "stage.variants", attributes={"runs": len(runs)}
+                )
+            )
         handles = []
         leaders: Dict[str, str] = {}
         followers: List[bool] = []
@@ -213,6 +360,7 @@ def run_jobs_scheduler(
                 )
         return summaries
     finally:
+        stages.close()
         app.shutdown()
         if pool is not None:
             pool.shutdown()

@@ -13,6 +13,9 @@ experiments without writing a launch script:
 - ``cache stats|ls|invalidate`` — inspect or evict the fingerprint result
   cache (``invalidate`` accepts a run fingerprint or an artifact content
   hash; an artifact hash cascades to every dependent cached run);
+- ``ckpt stats|ls|gc``          — inspect or garbage-collect the
+  boot-checkpoint store (``gc`` evicts checkpoints whose boot prefix no
+  run spec references anymore);
 - ``db stats|compact|scrub|recover`` — storage-engine maintenance:
   per-collection segment/WAL shape, forced segment compaction, blob
   re-verification with quarantine, and a crash-recovery report;
@@ -22,9 +25,10 @@ experiments without writing a launch script:
   the accept/reject/shed ledger, queue depths, and breaker states.
 
 ``boot-tests`` and ``resume`` accept ``--cache``/``--no-cache`` to control
-whether runs may adopt memoized results instead of simulating, and
-``--tenant``/``--priority`` to choose the admission coordinates the
-campaign submits under.
+whether runs may adopt memoized results instead of simulating,
+``--checkpoints``/``--no-checkpoints`` to stage the sweep as one boot per
+unique boot prefix plus restored variants, and ``--tenant``/``--priority``
+to choose the admission coordinates the campaign submits under.
 """
 
 from __future__ import annotations
@@ -84,6 +88,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_substrate_flag(boot)
     _add_cache_flags(boot)
+    _add_checkpoint_flags(boot)
     _add_admission_flags(boot)
 
     parsec = commands.add_parser(
@@ -132,6 +137,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_substrate_flag(resume)
     _add_cache_flags(resume)
+    _add_checkpoint_flags(resume)
     _add_admission_flags(resume)
 
     admit = commands.add_parser(
@@ -198,6 +204,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache.add_argument(
         "--db", required=True, metavar="URI",
         help="database URI holding the cache "
+        "(file:///dir for anything persistent)",
+    )
+
+    ckpt = commands.add_parser(
+        "ckpt",
+        help="inspect or garbage-collect the boot-checkpoint store",
+    )
+    ckpt.add_argument(
+        "action", choices=("stats", "ls", "gc"),
+        help="stats: summary counts; ls: one line per checkpoint; "
+        "gc: evict checkpoints whose boot prefix no run spec "
+        "references anymore",
+    )
+    ckpt.add_argument(
+        "--db", required=True, metavar="URI",
+        help="database URI holding the checkpoint store "
         "(file:///dir for anything persistent)",
     )
 
@@ -284,6 +306,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "lint": _cmd_lint,
         "cache": _cmd_cache,
+        "ckpt": _cmd_ckpt,
         "db": _cmd_db,
         "admit": _cmd_admit,
     }[args.command]
@@ -313,6 +336,21 @@ def _add_admission_flags(subparser) -> None:
         choices=("interactive", "default", "bulk"),
         help="queue lane: interactive jumps ahead of default, bulk is "
         "shed first under overload",
+    )
+
+
+def _add_checkpoint_flags(subparser) -> None:
+    """``--checkpoints`` / ``--no-checkpoints`` pair (default: off)."""
+    subparser.add_argument(
+        "--checkpoints", dest="use_checkpoints", action="store_true",
+        default=False,
+        help="stage the sweep: boot once per unique boot prefix, then "
+        "restore every variant from its cohort's checkpoint",
+    )
+    subparser.add_argument(
+        "--no-checkpoints", dest="use_checkpoints",
+        action="store_false",
+        help="boot every run in full (default)",
     )
 
 
@@ -438,6 +476,7 @@ def _cmd_boot_tests_experiment(args) -> int:
             substrate=args.substrate,
             tenant=args.tenant,
             priority=args.priority,
+            use_checkpoints=args.use_checkpoints,
         )
         counts = collections.Counter(
             (s or {}).get("simulation_status", "failed")
@@ -641,6 +680,7 @@ def _cmd_resume(args) -> int:
             substrate=args.substrate,
             tenant=args.tenant,
             priority=args.priority,
+            use_checkpoints=args.use_checkpoints,
         )
     except ReproError as error:
         print(f"error: {error}")
@@ -708,6 +748,62 @@ def _cmd_cache(args) -> int:
     noun = "entry" if evicted == 1 else "entries"
     print(f"evicted {evicted} cache {noun}; "
           "dependent runs will re-execute on next launch")
+    return 0
+
+
+def _cmd_ckpt(args) -> int:
+    from repro.art import ArtifactDB, CheckpointStore
+    from repro.art.spec import RunSpec
+    from repro.common.errors import ReproError
+    from repro.db import connect
+
+    try:
+        db = ArtifactDB(connect(args.db))
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    store = CheckpointStore(db)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"entries       {stats['entries']}")
+        print(f"restores      {stats['restores']}")
+        print(f"boot seconds  {stats['boot_seconds_archived']:.1f}")
+        for boot_type, count in sorted(stats["by_boot_type"].items()):
+            print(f"  {boot_type:<11}{count}")
+        return 0
+    if args.action == "ls":
+        table = TextTable(
+            ["Prefix", "Kernel", "Boot", "CPUs", "Restores", "Stored"],
+            title="CHECKPOINT STORE",
+        )
+        for entry in store.entries():
+            table.add_row(
+                [
+                    entry["prefix"][:12],
+                    entry.get("kernel_version", "?"),
+                    entry.get("boot_type", "?"),
+                    str(entry.get("num_cpus", "?")),
+                    str(entry.get("restores", 0)),
+                    str(entry.get("stored_at_wall", "?"))[:19],
+                ]
+            )
+        print(table.render())
+        return 0
+    # gc: a checkpoint is live while some run document's spec still
+    # hashes to its prefix.
+    live = set()
+    for doc in db.runs.find({}):
+        spec_doc = doc.get("spec")
+        if not spec_doc:
+            continue
+        prefix = RunSpec.from_document(spec_doc).prefix_fingerprint()
+        if prefix:
+            live.add(prefix)
+    evicted = store.gc(live)
+    db.save()
+    noun = "checkpoint" if evicted == 1 else "checkpoints"
+    print(f"evicted {evicted} orphaned {noun} "
+          f"({len(live)} live boot prefixes)")
     return 0
 
 

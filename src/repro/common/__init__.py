@@ -20,6 +20,7 @@ from repro.common.hashing import (
     sha256_bytes,
     short_hash,
 )
+from repro.common.hostinfo import effective_cores
 from repro.common.ids import new_uuid, deterministic_uuid
 from repro.common.jsonutil import canonical_dumps, dumps, loads, stable_dumps
 from repro.common.rng import RngStream, derive_seed
@@ -45,6 +46,7 @@ __all__ = [
     "md5_tree",
     "sha256_bytes",
     "short_hash",
+    "effective_cores",
     "new_uuid",
     "deterministic_uuid",
     "canonical_dumps",

@@ -1,0 +1,23 @@
+"""Host capability probes shared by benchmarks and CI gates.
+
+Benchmarks that enforce a parallel-speedup floor must not fail on
+single-core CI runners; they gate the floor on the core count actually
+*available* to this process (the scheduler affinity mask, which cgroup
+limits shrink below ``os.cpu_count()``).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def effective_cores() -> int:
+    """Cores available to this process (affinity-aware).
+
+    ``sched_getaffinity`` reflects cpusets and taskset masks; platforms
+    without it (macOS) fall back to the raw CPU count.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1

@@ -31,6 +31,7 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import os
+import pickle
 import queue
 import threading
 import time
@@ -62,6 +63,39 @@ DEFAULT_MAX_REDELIVERIES = 3
 _MONITOR_INTERVAL = 0.05
 _RESULT_POLL = 0.1
 
+#: Marker key for an interned-payload reference inside envelope args.
+#: ``{"__intern__": <content hash>}`` is replaced, inside the worker,
+#: with the payload shipped once under that hash — see :func:`intern_ref`.
+INTERN_KEY = "__intern__"
+
+
+def intern_ref(content_hash: str) -> Dict[str, str]:
+    """An envelope-arg placeholder for a shared, content-hashed payload.
+
+    Builders put ``intern_ref(h)`` where a large repeated value (artifact
+    payload, checkpoint document) would go and supply the value itself in
+    ``JobEnvelope.shared[h]``.  The pool ships each hash to each worker
+    at most once; subsequent envelopes carry only the reference.
+    """
+    return {INTERN_KEY: content_hash}
+
+
+def _resolve_interned(value: Any, cache: Dict[str, Any]) -> Any:
+    """Replace ``intern_ref`` placeholders with their cached payloads."""
+    if isinstance(value, dict):
+        if set(value.keys()) == {INTERN_KEY}:
+            content_hash = value[INTERN_KEY]
+            if content_hash not in cache:
+                raise KeyError(
+                    f"interned payload {content_hash!r} was never "
+                    "shipped to this worker"
+                )
+            return cache[content_hash]
+        return {k: _resolve_interned(v, cache) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return type(value)(_resolve_interned(v, cache) for v in value)
+    return value
+
 
 class WorkerJobError(StateError):
     """A job failed in (or was lost with) its worker process."""
@@ -82,6 +116,12 @@ class JobEnvelope:
 
     ``fingerprint`` is carried for observability only: dedup decisions
     happen in the parent broker before an envelope is ever built.
+
+    ``shared`` maps content hash → payload for every
+    :func:`intern_ref` placeholder in ``args``/``kwargs``.  The pool
+    ships each hash to each worker process at most once (the worker
+    interns it), so an envelope whose payloads a worker has already
+    seen travels as a near-empty delta.
     """
 
     target: str
@@ -90,6 +130,7 @@ class JobEnvelope:
     task_id: str = field(default_factory=new_uuid)
     fingerprint: str = ""
     telemetry: bool = False
+    shared: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
         if ":" not in self.target:
@@ -174,57 +215,85 @@ def _resolve_target(spec: str) -> Callable:
 
 
 def _worker_main(worker: str, inbox, outbox) -> None:
-    """Worker-process loop: execute envelopes until the ``None`` sentinel.
+    """Worker-process loop: execute wire batches until the ``None`` sentinel.
 
     Runs in a freshly spawned interpreter; everything it needs arrives
-    through the envelope.  Telemetry, when requested, is recorded in a
-    private per-process session and shipped back inside the result so
-    the parent can merge it — worker and parent never share a registry.
+    through the wire.  Each inbox item is one parent-pickled **batch**
+    (``{"jobs": [...], "shared": {hash: payload}}``) — one pickle + one
+    queue round-trip per shard, not per job.  ``shared`` payloads are
+    interned in a per-process cache keyed by content hash; job arguments
+    reference them via :func:`intern_ref` placeholders, so a payload the
+    worker has already seen never crosses the pipe again.  Telemetry,
+    when requested, is recorded in a private per-process session and
+    shipped back inside the result so the parent can merge it — worker
+    and parent never share a registry.
     """
     from repro import telemetry as _telemetry
 
+    interned: Dict[str, Any] = {}
     while True:
-        envelope = inbox.get()
-        if envelope is None:
+        wire = inbox.get()
+        if wire is None:
             return
-        started = time.monotonic()
-        result: Dict[str, Any] = {
-            "task_id": envelope.task_id,
-            "worker": worker,
-            "pid": os.getpid(),
-            "ok": False,
-            "value": None,
-            "error": None,
-            "telemetry": None,
-        }
-        session = _telemetry.enable() if envelope.telemetry else None
-        try:
-            target = _resolve_target(envelope.target)
-            result["value"] = target(*envelope.args, **envelope.kwargs)
-            result["ok"] = True
-        except Exception:
-            result["error"] = traceback.format_exc()
-        finally:
-            if session is not None:
-                result["telemetry"] = {
-                    "metrics": session.metrics.collect(),
-                    "events": session.events.records(),
-                }
-                _telemetry.disable()
-        result["host_seconds"] = time.monotonic() - started
-        outbox.put(result)
+        batch = pickle.loads(wire)
+        interned.update(batch.get("shared") or {})
+        for job in batch["jobs"]:
+            started = time.monotonic()
+            result: Dict[str, Any] = {
+                "task_id": job["task_id"],
+                "worker": worker,
+                "pid": os.getpid(),
+                "ok": False,
+                "value": None,
+                "error": None,
+                "telemetry": None,
+            }
+            session = _telemetry.enable() if job["telemetry"] else None
+            try:
+                target = _resolve_target(job["target"])
+                args = _resolve_interned(job["args"], interned)
+                kwargs = _resolve_interned(job["kwargs"], interned)
+                result["value"] = target(*args, **kwargs)
+                result["ok"] = True
+            except Exception:
+                result["error"] = traceback.format_exc()
+            finally:
+                if session is not None:
+                    result["telemetry"] = {
+                        "metrics": session.metrics.collect(),
+                        "events": session.events.records(),
+                    }
+                    _telemetry.disable()
+            result["host_seconds"] = time.monotonic() - started
+            outbox.put(result)
 
 
 class _WorkerSlot:
-    """One worker seat: the live process, its private inbox, and the
-    job currently assigned to it (at most one at a time, which is what
-    makes crash attribution exact)."""
+    """One worker seat: the live process, its private inbox/outbox, and
+    the batch currently assigned to it (at most one batch at a time,
+    which is what keeps crash attribution exact — every job in
+    ``current`` died with this worker).
 
-    def __init__(self, name: str, process, inbox):
+    The outbox is private for a reason: a queue's writer side holds a
+    shared lock while its feeder thread flushes, and a SIGKILL that
+    lands mid-flush leaves that lock acquired forever.  With one queue
+    per worker a dying writer can only poison its own pipe — results it
+    failed to flush are recovered by lease expiry, and no other worker
+    ever blocks on the corpse's lock.
+
+    ``interned`` mirrors the worker's payload intern cache: content
+    hashes already shipped down this seat's pipe.  A respawned worker
+    gets a fresh slot, so the mirror can never claim a payload a new
+    process has not seen.
+    """
+
+    def __init__(self, name: str, process, inbox, outbox):
         self.name = name
         self.process = process
         self.inbox = inbox
-        self.current: Optional[_JobRecord] = None
+        self.outbox = outbox
+        self.current: Dict[str, _JobRecord] = {}
+        self.interned: set = set()
 
     def alive(self) -> bool:
         return self.process.is_alive()
@@ -244,16 +313,22 @@ class ProcessPool:
         lease_ttl: float = DEFAULT_PROC_LEASE_TTL,
         max_redeliveries: int = DEFAULT_MAX_REDELIVERIES,
         start_method: str = "spawn",
+        dispatch_batch: int = 1,
     ):
         if workers < 1:
             raise ValidationError("process pool needs at least one worker")
         if max_redeliveries < 0:
             raise ValidationError("max_redeliveries must be >= 0")
+        if dispatch_batch < 1:
+            raise ValidationError("dispatch_batch must be >= 1")
         self.worker_count = workers
         self.max_redeliveries = max_redeliveries
+        # How many pending jobs one idle worker receives per wire batch
+        # (one pickle + one queue round-trip for the whole shard).  1
+        # preserves the historical job-at-a-time transport.
+        self.dispatch_batch = dispatch_batch
         self._context = multiprocessing.get_context(start_method)
         self._leases = LeaseManager(ttl=lease_ttl)
-        self._results = self._context.Queue()
         # One condition guards pending/inflight/slot state; blocking
         # queue operations always happen outside it.
         self._state = threading.Condition()
@@ -330,14 +405,15 @@ class ProcessPool:
     def _spawn_slot(self, index: int) -> _WorkerSlot:
         name = f"procpool-worker-{index}"
         inbox = self._context.Queue()
+        outbox = self._context.Queue()
         process = self._context.Process(
             target=_worker_main,
-            args=(name, inbox, self._results),
+            args=(name, inbox, outbox),
             name=name,
             daemon=True,
         )
         process.start()
-        return _WorkerSlot(name, process, inbox)
+        return _WorkerSlot(name, process, inbox, outbox)
 
     # ------------------------------------------------------------ monitor
 
@@ -359,36 +435,81 @@ class ProcessPool:
                 self._state.wait(timeout=_MONITOR_INTERVAL)
 
     def _assign_pending(self) -> None:
-        """Hand queued jobs to idle live workers (one each)."""
-        assignments: List[Tuple[_WorkerSlot, _JobRecord]] = []
+        """Hand queued jobs to idle live workers, a batch per worker.
+
+        Each idle worker receives up to ``dispatch_batch`` jobs as one
+        parent-pickled wire message.  Shared payloads are delta-encoded
+        against the slot's intern mirror: a content hash this worker has
+        already received ships as a reference, not a payload.  Leases
+        stay per-job — a crashed worker's whole batch expires, but jobs
+        that already produced results released their leases, so
+        redelivery re-dispatches only the incomplete remainder.
+        """
+        assignments: List[Tuple[_WorkerSlot, List[_JobRecord]]] = []
         with self._state:
             for slot in self._slots:
                 if not self._pending:
                     break
-                if slot.current is not None or not slot.alive():
+                if slot.current or not slot.alive():
                     continue
-                record = self._pending.popleft()
-                slot.current = record
-                self._inflight[record.task_id] = record
-                assignments.append((slot, record))
-        for slot, record in assignments:
-            self._leases.acquire(record, slot.name)
-            record.handle.worker = slot.name
-            get_event_log().emit(
-                "procpool.dispatch",
-                task_id=record.task_id,
-                worker=slot.name,
-                delivery=record.deliveries,
+                batch: List[_JobRecord] = []
+                while self._pending and len(batch) < self.dispatch_batch:
+                    record = self._pending.popleft()
+                    slot.current[record.task_id] = record
+                    self._inflight[record.task_id] = record
+                    batch.append(record)
+                assignments.append((slot, batch))
+        for slot, batch in assignments:
+            jobs: List[Dict[str, Any]] = []
+            shared: Dict[str, Any] = {}
+            for record in batch:
+                self._leases.acquire(record, slot.name)
+                record.handle.worker = slot.name
+                envelope = record.envelope
+                for content_hash, payload in envelope.shared.items():
+                    if content_hash not in slot.interned:
+                        shared[content_hash] = payload
+                        slot.interned.add(content_hash)
+                jobs.append(
+                    {
+                        "target": envelope.target,
+                        "args": envelope.args,
+                        "kwargs": envelope.kwargs,
+                        "task_id": envelope.task_id,
+                        "telemetry": envelope.telemetry,
+                    }
+                )
+                get_event_log().emit(
+                    "procpool.dispatch",
+                    task_id=record.task_id,
+                    worker=slot.name,
+                    delivery=record.deliveries,
+                )
+            wire = pickle.dumps(
+                {"jobs": jobs, "shared": shared},
+                protocol=pickle.HIGHEST_PROTOCOL,
             )
-            slot.inbox.put(record.envelope)
+            get_metrics().counter(
+                "transport_bytes_total",
+                "Bytes of pickled job transport shipped to workers",
+            ).inc(len(wire))
+            get_event_log().emit(
+                "procpool.batch",
+                worker=slot.name,
+                jobs=len(jobs),
+                wire_bytes=len(wire),
+                interned=len(shared),
+            )
+            slot.inbox.put(wire)
 
     def _observed_live_jobs(self) -> List[str]:
         """Task ids whose assigned worker the parent can still see."""
         with self._state:
             return [
-                slot.current.task_id
+                task_id
                 for slot in self._slots
-                if slot.current is not None and slot.alive()
+                if slot.current and slot.alive()
+                for task_id in slot.current
             ]
 
     def _recover_lost_workers(self) -> None:
@@ -404,9 +525,11 @@ class ProcessPool:
                     continue
                 lost.append((index, slot))
         for index, slot in lost:
+            # Salvage results the worker flushed before dying — a job
+            # that completed must win over its own redelivery.
+            self._drain_outbox(slot.outbox)
             replacement = self._spawn_slot(index)
             with self._state:
-                replacement.current = None
                 self._slots[index] = replacement
             get_metrics().counter(
                 "procpool_workers_lost_total",
@@ -416,11 +539,7 @@ class ProcessPool:
                 "procpool.worker_lost",
                 worker=slot.name,
                 pid=slot.process.pid,
-                task_id=(
-                    slot.current.task_id
-                    if slot.current is not None
-                    else None
-                ),
+                task_ids=sorted(slot.current),
             )
 
     def _reap_expired(self) -> None:
@@ -430,8 +549,7 @@ class ProcessPool:
             with self._state:
                 self._inflight.pop(record.task_id, None)
                 for slot in self._slots:
-                    if slot.current is record:
-                        slot.current = None
+                    slot.current.pop(record.task_id, None)
             if record.handle.ready():
                 continue  # raced with a late result
             if record.deliveries > self.max_redeliveries:
@@ -470,11 +588,36 @@ class ProcessPool:
 
     def _collector_loop(self) -> None:
         while not self._stop.is_set():
+            with self._state:
+                outboxes = [slot.outbox for slot in self._slots]
+            drained = sum(
+                self._drain_outbox(outbox) for outbox in outboxes
+            )
+            if not drained:
+                time.sleep(_RESULT_POLL)
+
+    def _drain_outbox(self, outbox) -> int:
+        """Absorb every result currently readable from one worker's
+        outbox.  A worker killed mid-flush can leave a truncated pickle
+        in its (private) pipe; that read fails, the remainder of the
+        pipe dies with the slot, and lease expiry redelivers the jobs
+        whose results never made it out."""
+        drained = 0
+        while True:
             try:
-                result = self._results.get(timeout=_RESULT_POLL)
+                result = outbox.get_nowait()
             except queue.Empty:
-                continue
+                break
+            except Exception as error:
+                # Torn write from a killed worker; the jobs behind it
+                # are recovered by lease expiry, not this read.
+                get_event_log().emit(
+                    "procpool.torn_result", error=repr(error)
+                )
+                break
             self._absorb_result(result)
+            drained += 1
+        return drained
 
     def _absorb_result(self, result: Dict[str, Any]) -> None:
         task_id = result["task_id"]
@@ -482,11 +625,7 @@ class ProcessPool:
         with self._state:
             record = self._inflight.pop(task_id, None)
             for slot in self._slots:
-                if (
-                    slot.current is not None
-                    and slot.current.task_id == task_id
-                ):
-                    slot.current = None
+                slot.current.pop(task_id, None)
             self._state.notify_all()
         buffer = result.get("telemetry")
         if buffer:
@@ -549,7 +688,7 @@ class ProcessPool:
             if slot.alive():
                 slot.process.kill()
                 slot.process.join(timeout=2.0)
-        self._results.cancel_join_thread()
+            slot.outbox.cancel_join_thread()
         with self._state:
             self._slots.clear()
             self._started = False

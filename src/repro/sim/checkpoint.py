@@ -20,9 +20,10 @@ kvm/atomic boot to a timing/O3 measurement CPU is the whole point.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.common.errors import ValidationError
-from repro.common.hashing import md5_text
+from repro.common.hashing import sha256_text
 
 
 @dataclass(frozen=True)
@@ -37,10 +38,16 @@ class Checkpoint:
     boot_seconds: float
     boot_instructions: int
 
-    @property
+    @cached_property
     def checkpoint_id(self) -> str:
-        """Stable content identity (registerable as an artifact)."""
-        return md5_text(
+        """Stable content identity (registerable as an artifact).
+
+        SHA-256, like every other identity in the system (RunSpec
+        fingerprints, run-cache keys, FileStore addresses); the md5
+        helpers remain only for legacy resource metadata.  Cached — the
+        fields are frozen, and restored runs consult the id per repeat.
+        """
+        return sha256_text(
             "|".join(
                 [
                     self.kernel_version,

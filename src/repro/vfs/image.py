@@ -33,6 +33,15 @@ class DiskImage:
         self.name = name
         self.metadata: Dict[str, Any] = dict(metadata or {})
         self.root = VirtualDirectory()
+        # Canonical serialization of the tree, memoized because restore
+        # compatibility checks hash the (large, rarely changing) tree on
+        # every run.  Only the tree is cached — metadata is a plain dict
+        # callers may mutate directly, so the final digest is cached
+        # alongside a snapshot of the metadata it was computed from and
+        # revalidated by equality on every call.
+        self._tree_json: Optional[str] = None
+        self._hash_cache: Optional[str] = None
+        self._hash_snapshot: Optional[Tuple[str, str]] = None
 
     # -------------------------------------------------------------- files
 
@@ -47,6 +56,7 @@ class DiskImage:
         directory.children[name] = VirtualFile(
             content=content, executable=executable
         )
+        self._tree_json = None
 
     def read_file(self, path: str) -> bytes:
         node = self._resolve(path)
@@ -70,6 +80,7 @@ class DiskImage:
 
     def mkdir(self, path: str) -> None:
         self._ensure_directory(path)
+        self._tree_json = None
 
     def remove(self, path: str) -> None:
         segments = split(path)
@@ -77,6 +88,7 @@ class DiskImage:
             raise ValidationError("cannot remove the root")
         parent = self._resolve("/" + "/".join(segments[:-1]))
         parent.remove(segments[-1])
+        self._tree_json = None
 
     def listdir(self, path: str = "/") -> List[str]:
         node = self._resolve(path)
@@ -121,8 +133,34 @@ class DiskImage:
     # ----------------------------------------------------------- identity
 
     def content_hash(self) -> str:
-        """MD5 over the canonical serialization (tree + metadata)."""
-        return md5_text(canonical_dumps(self.to_dict()))
+        """MD5 over the canonical serialization (tree + metadata).
+
+        Splices the memoized tree serialization into the canonical form
+        of the full document.  ``canonical_dumps`` is compositional
+        (recursive encode/normalize, per-dict key sort), so the spliced
+        string is byte-identical to ``canonical_dumps(self.to_dict())``
+        — the keys below appear in their sorted order.
+        """
+        if self._tree_json is None:
+            self._tree_json = canonical_dumps(self.root.to_dict())
+            self._hash_cache = None
+        # repr() is a faithful fingerprint for JSON-ish metadata (it
+        # distinguishes True/1/1.0 where dict equality does not) and is
+        # far cheaper than canonical serialization; an order-only repr
+        # difference merely causes a recompute.
+        snapshot = (self.name, repr(self.metadata))
+        if self._hash_cache is not None and self._hash_snapshot == snapshot:
+            return self._hash_cache
+        self._hash_cache = md5_text(
+            '{"metadata":%s,"name":%s,"root":%s}'
+            % (
+                canonical_dumps(self.metadata),
+                canonical_dumps(self.name),
+                self._tree_json,
+            )
+        )
+        self._hash_snapshot = snapshot
+        return self._hash_cache
 
     # ------------------------------------------------------ serialization
 
@@ -137,6 +175,7 @@ class DiskImage:
     def from_dict(cls, data: dict) -> "DiskImage":
         image = cls(name=data["name"], metadata=data.get("metadata", {}))
         image.root = VirtualDirectory.from_dict(data["root"])
+        image._tree_json = None
         return image
 
     def save(self, path: str) -> None:

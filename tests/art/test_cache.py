@@ -27,9 +27,9 @@ def count_simulations(monkeypatch):
     executed = []
     original = Gem5Run._run_guarded
 
-    def recording(self):
+    def recording(self, checkpoint_store=None):
         executed.append(self.run_id)
-        return original(self)
+        return original(self, checkpoint_store)
 
     monkeypatch.setattr(Gem5Run, "_run_guarded", recording)
     return executed

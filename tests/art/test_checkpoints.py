@@ -1,0 +1,181 @@
+"""Tests for the prefix-keyed CheckpointStore: storage, degradation,
+and single-flight boot leadership (the staged pipeline's stage 1)."""
+
+import threading
+import time
+
+import pytest
+
+from repro import chaos, telemetry
+from repro.art import ArtifactDB, CheckpointStore
+from repro.chaos import FaultRule
+from repro.sim import Checkpoint
+
+
+@pytest.fixture
+def db():
+    return ArtifactDB()
+
+
+@pytest.fixture
+def store(db):
+    return CheckpointStore(db)
+
+
+def make_checkpoint(**overrides):
+    fields = dict(
+        kernel_version="4.19.83",
+        boot_type="systemd",
+        disk_image_hash="d" * 32,
+        num_cpus=2,
+        memory_system="MESI_Two_Level",
+        boot_seconds=11.5,
+        boot_instructions=4_000_000,
+    )
+    fields.update(overrides)
+    return Checkpoint(**fields)
+
+
+def test_store_get_roundtrip(store):
+    checkpoint = make_checkpoint()
+    assert store.store("prefix-a", checkpoint) is True
+    with telemetry.session() as session:
+        found = store.get("prefix-a")
+    assert found == checkpoint
+    assert found.checkpoint_id == checkpoint.checkpoint_id
+    hits = session.metrics.counter("checkpoint_hits_total")
+    assert hits.value(boot_type="systemd") == 1
+    # Restores are tallied on the entry itself (surfaced by `repro ckpt`).
+    assert store.lookup("prefix-a")["restores"] == 1
+
+
+def test_get_without_prefix_is_a_miss(store):
+    assert store.get(None) is None
+
+
+def test_first_writer_wins(store):
+    first = make_checkpoint(boot_seconds=10.0)
+    second = make_checkpoint(boot_seconds=99.0)
+    assert store.store("prefix-a", first) is True
+    assert store.store("prefix-a", second) is False
+    assert store.get("prefix-a").boot_seconds == 10.0
+
+
+def test_absent_entry_is_a_counted_miss(store):
+    with telemetry.session() as session:
+        assert store.get("nowhere") is None
+    misses = session.metrics.counter("checkpoint_misses_total")
+    assert misses.value(reason="absent") == 1
+
+
+def test_read_fault_degrades_to_miss(store):
+    store.store("prefix-a", make_checkpoint())
+    rules = [FaultRule("checkpoint.get", error="store unreachable")]
+    with telemetry.session() as session:
+        with chaos.injected(seed=7, rules=rules):
+            assert store.get("prefix-a") is None
+    misses = session.metrics.counter("checkpoint_misses_total")
+    assert misses.value(reason="read-fault") == 1
+    # The fault was transient: the entry itself is intact.
+    assert store.get("prefix-a") is not None
+
+
+def test_corrupt_blob_is_evicted_and_healed(db, store):
+    store.store("prefix-a", make_checkpoint())
+    file_id = store.lookup("prefix-a")["file_id"]
+    # Bit-rot the archived payload behind the store's back.
+    db.database.files._memory[file_id] = b"tampered bytes"
+    with telemetry.session() as session:
+        assert store.get("prefix-a") is None
+        misses = session.metrics.counter("checkpoint_misses_total")
+        assert misses.value(reason="corrupt") == 1
+        corrupt = session.events.records(kind="checkpoint.corrupt")
+        assert len(corrupt) == 1
+    # Entry and blob are gone, so the fallback boot can re-archive
+    # pristine bytes under the same content address.
+    assert store.lookup("prefix-a") is None
+    assert store.store("prefix-a", make_checkpoint()) is True
+    assert store.get("prefix-a") is not None
+
+
+def test_get_or_boot_single_flight(store):
+    """Acceptance: N concurrent same-prefix callers produce exactly one
+    boot; everyone adopts what the leader stored."""
+    boots = []
+    barrier = threading.Barrier(8)
+
+    def boot():
+        boots.append(threading.get_ident())
+        time.sleep(0.05)  # keep the leader in flight while others race
+        return make_checkpoint()
+
+    results = [None] * 8
+
+    def contender(slot):
+        barrier.wait()
+        results[slot] = store.get_or_boot("prefix-a", boot)
+
+    with telemetry.session() as session:
+        threads = [
+            threading.Thread(target=contender, args=(slot,))
+            for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(boots) == 1
+        boots_counter = session.metrics.counter("checkpoint_boots_total")
+        assert boots_counter.value() == 1
+    expected = make_checkpoint()
+    assert all(result == expected for result in results)
+
+
+def test_get_or_boot_skips_boot_on_hit(store):
+    store.store("prefix-a", make_checkpoint())
+
+    def boot():
+        raise AssertionError("a stored prefix must not boot again")
+
+    assert store.get_or_boot("prefix-a", boot) is not None
+
+
+def test_get_or_boot_unbootable_platform_degrades(store):
+    """A boot that fails (fault model) yields None for the whole cohort
+    — attempted exactly once, stored nowhere."""
+    boots = []
+
+    def boot():
+        boots.append(1)
+        return None
+
+    results = [store.get_or_boot("prefix-a", boot) for _ in range(3)]
+    assert results == [None, None, None]
+    # Each sequential caller re-attempts (nothing was stored), but
+    # within one contention window only the leader boots — covered by
+    # the single-flight test above.
+    assert len(boots) == 3
+    assert store.lookup("prefix-a") is None
+
+
+def test_gc_evicts_orphaned_prefixes(db, store):
+    store.store("live", make_checkpoint(num_cpus=1))
+    store.store("orphan", make_checkpoint(num_cpus=8))
+    orphan_blob = store.lookup("orphan")["file_id"]
+    assert store.gc(live_prefixes={"live"}) == 1
+    assert store.lookup("live") is not None
+    assert store.lookup("orphan") is None
+    with pytest.raises(Exception):
+        db.download_file(orphan_blob)
+
+
+def test_stats_summary(store):
+    store.store("a", make_checkpoint(boot_type="systemd", boot_seconds=10.0))
+    store.store("b", make_checkpoint(boot_type="init", boot_seconds=5.0))
+    store.get("a")
+    store.get("a")
+    summary = store.stats()
+    assert summary["entries"] == 2
+    assert summary["restores"] == 2
+    assert summary["boot_seconds_archived"] == pytest.approx(15.0)
+    assert summary["by_boot_type"] == {"systemd": 1, "init": 1}

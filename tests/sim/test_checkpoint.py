@@ -27,7 +27,8 @@ def test_take_checkpoint(parsec_image):
     assert checkpoint.boot_seconds == result.boot_seconds
     assert checkpoint.kernel_version == "4.15.18"
     assert checkpoint.disk_image_hash == parsec_image.content_hash()
-    assert len(checkpoint.checkpoint_id) == 32
+    # SHA-256 hex, like every other identity in the system.
+    assert len(checkpoint.checkpoint_id) == 64
 
 
 def test_checkpoint_fails_like_a_boot(parsec_image):
@@ -120,6 +121,82 @@ def test_checkpoint_serialization_roundtrip(parsec_image):
     clone = Checkpoint.from_dict(checkpoint.to_dict())
     assert clone == checkpoint
     assert clone.checkpoint_id == checkpoint.checkpoint_id
+
+
+GOOD_IDENTITY = dict(
+    kernel_version="4.15.18",
+    disk_image_hash="d" * 32,
+    num_cpus=2,
+    memory_system="MESI_Two_Level",
+)
+
+
+def identity_checkpoint():
+    return Checkpoint(
+        boot_type="systemd",
+        boot_seconds=9.0,
+        boot_instructions=1_000_000,
+        **GOOD_IDENTITY,
+    )
+
+
+def test_check_compatible_accepts_exact_identity():
+    identity_checkpoint().check_compatible(**GOOD_IDENTITY)
+
+
+@pytest.mark.parametrize(
+    "field,value,needle",
+    [
+        ("kernel_version", "5.4.51", "kernel"),
+        ("disk_image_hash", "f" * 32, "disk image"),
+        ("num_cpus", 8, "num_cpus"),
+        ("memory_system", "MI_example", "memory system"),
+    ],
+)
+def test_check_compatible_mismatch_matrix(field, value, needle):
+    mismatched = dict(GOOD_IDENTITY)
+    mismatched[field] = value
+    with pytest.raises(ValidationError) as excinfo:
+        identity_checkpoint().check_compatible(**mismatched)
+    assert needle in str(excinfo.value)
+
+
+def test_check_compatible_reports_every_mismatch_at_once():
+    with pytest.raises(ValidationError) as excinfo:
+        identity_checkpoint().check_compatible(
+            kernel_version="5.4.51",
+            disk_image_hash="f" * 32,
+            num_cpus=8,
+            memory_system="MI_example",
+        )
+    message = str(excinfo.value)
+    for needle in ("kernel", "disk image", "num_cpus", "memory system"):
+        assert needle in message
+
+
+def test_restored_measured_region_matches_full_boot(parsec_image):
+    """The determinism contract restore rides on: the measured-region
+    statistics of a checkpoint-restored run fingerprint identically to
+    the same run booted in full."""
+    kvm = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="kvm"))
+    checkpoint, _ = kvm.take_boot_checkpoint("4.15.18", parsec_image)
+
+    timing = Gem5Simulator(Gem5Build(), SystemConfig(cpu_type="timing"))
+    cold = timing.run_fs("4.15.18", parsec_image, benchmark="ferret")
+    restored = timing.run_fs(
+        "4.15.18",
+        parsec_image,
+        benchmark="ferret",
+        restore_from=checkpoint,
+    )
+    assert cold.ok and restored.ok
+    assert (
+        restored.measured_region_fingerprint()
+        == cold.measured_region_fingerprint()
+    )
+    # ...while the full stats dumps legitimately differ: only the full
+    # boot accumulates boot-attributed statistics.
+    assert restored.stats_txt() != cold.stats_txt()
 
 
 def test_checkpoint_id_depends_on_identity(parsec_image):

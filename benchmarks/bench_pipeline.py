@@ -1,0 +1,127 @@
+"""Macrobenchmark: cold vs incremental reproduction of the example
+pipeline.
+
+Runs ``examples/paper.yaml`` three times against one database:
+
+- **cold** — empty journal, every stage executes (artifact builds, the
+  boot sweep, analysis, rendering);
+- **warm** — identical fingerprints, every stage adopts its journaled
+  content-addressed outputs (zero executions);
+- **incremental** — one analysis knob overridden via ``--set``
+  semantics, so exactly the analyze and render stages re-execute while
+  the expensive artifact/sweep stages stay cached.
+
+The cold/warm ratio is the one-click-agility claim in one number.  Run
+as a script (it measures; the test suite asserts correctness):
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py
+
+Writes ``BENCH_pipeline.json`` next to the repo root and exits 1 if the
+warm run is not at least ``MIN_SPEEDUP``x faster than the cold one, or
+if any stage fails to cache when it should.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.art import ArtifactDB
+from repro.pipeline import run_pipeline
+from repro.pipeline.manifest import (
+    Manifest,
+    apply_set_overrides,
+    load_manifest,
+    parse_document_text,
+)
+
+MANIFEST_PATH = "examples/paper.yaml"
+
+#: Warm stages replace artifact builds and a scheduler-driven boot
+#: sweep with blob-verified journal adoption; realistically that is
+#: orders of magnitude, so 3x is a floor that still fails loudly if
+#: adoption quietly starts re-executing.
+MIN_SPEEDUP = 3.0
+
+
+def timed_run(db, manifest):
+    started = time.perf_counter()
+    result = run_pipeline(db, manifest)
+    elapsed = time.perf_counter() - started
+    assert result["status"] == "succeeded", result["error"]
+    return elapsed, result
+
+
+def actions(result):
+    return {
+        name: summary["action"]
+        for name, summary in result["stages"].items()
+    }
+
+
+def main() -> int:
+    db = ArtifactDB()
+    manifest = load_manifest(MANIFEST_PATH)
+
+    cold_seconds, cold = timed_run(db, manifest)
+    warm_seconds, warm = timed_run(db, manifest)
+
+    # Incremental: override one analyze knob (same as --set on the CLI)
+    # so only analyze + render are stale.
+    with open(MANIFEST_PATH, "r", encoding="utf-8") as handle:
+        document = parse_document_text(handle.read())
+    patched = apply_set_overrides(
+        document, ['analyze.group_by=["cpu_type"]']
+    )
+    incremental_seconds, incremental = timed_run(
+        db, Manifest.from_document(patched, source_path=MANIFEST_PATH)
+    )
+
+    speedup = (
+        cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    )
+    report = {
+        "benchmark": "pipeline",
+        "manifest": MANIFEST_PATH,
+        "stages": len(manifest.stage_names()),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "warm_actions": actions(warm),
+        "incremental_actions": actions(incremental),
+    }
+    with open("BENCH_pipeline.json", "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    if any(action != "cache_hit" for action in actions(warm).values()):
+        print(f"FAIL: warm run executed stages: {actions(warm)}")
+        return 1
+    expected_incremental = {
+        "artifacts": "cache_hit",
+        "sweep": "cache_hit",
+        "analyze": "executed",
+        "render": "executed",
+    }
+    if actions(incremental) != expected_incremental:
+        print(
+            "FAIL: incremental run did not re-execute exactly the "
+            f"dependents: {actions(incremental)}"
+        )
+        return 1
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: warm speedup {speedup:.2f}x < {MIN_SPEEDUP}x floor")
+        return 1
+    print(
+        f"OK: warm reproduction {speedup:.2f}x faster than cold; "
+        "incremental re-ran exactly analyze+render"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ The package tree mirrors the paper's architecture:
 - :mod:`repro.db`, :mod:`repro.scheduler`, :mod:`repro.vfs`,
   :mod:`repro.packer`, :mod:`repro.guest` — the MongoDB, Celery, disk
   image, Packer, and guest-software substrates;
+- :mod:`repro.pipeline` — one-click reproduction DAGs: declarative
+  manifests, content-addressed stage outputs, validation gates, and
+  bounded backtracking behind ``repro reproduce``;
 - :mod:`repro.analysis` — query/series/chart helpers for regenerating the
   paper's tables and figures.
 
@@ -48,6 +51,7 @@ __all__ = [
     "vfs",
     "packer",
     "guest",
+    "pipeline",
     "analysis",
     "common",
 ]

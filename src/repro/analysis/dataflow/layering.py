@@ -47,6 +47,7 @@ _EVERYTHING = frozenset(
         "sim",
         "resources",
         "art",
+        "pipeline",
         "analysis",
     }
 )
@@ -82,6 +83,22 @@ ALLOWED_DEPENDENCIES: Dict[str, FrozenSet[str]] = {
             "packer",
             "sim",
             "resources",
+        }
+    ),
+    "pipeline": frozenset(
+        {
+            "common",
+            "telemetry",
+            "chaos",
+            "vfs",
+            "guest",
+            "gpu",
+            "db",
+            "scheduler",
+            "packer",
+            "sim",
+            "resources",
+            "art",
         }
     ),
     "analysis": frozenset({"common", "telemetry", "db", "art"}),

@@ -59,11 +59,17 @@ FAILED_STATUSES = (RunStatus.FAILED.value, RunStatus.TIMED_OUT.value)
 class Experiment:
     """A declarative cross-product experiment over gem5art runs."""
 
-    def __init__(self, db: ArtifactDB, name: str):
+    def __init__(
+        self,
+        db: ArtifactDB,
+        name: str,
+        metadata: Optional[Dict[str, Any]] = None,
+    ):
         if not name:
             raise ValidationError("experiment needs a name")
         self.db = db
         self.name = name
+        self.metadata: Dict[str, Any] = dict(metadata or {})
         self.experiment_id = new_uuid()
         self._stacks: Dict[str, Dict[str, Artifact]] = {}
         self._axes: Dict[str, List[Any]] = {}
@@ -172,6 +178,9 @@ class Experiment:
                 "fixed": self._fixed,
                 "run_ids": [run.run_id for run in self._runs],
                 "stack_of_run": dict(self._stack_of_run),
+                # Caller-supplied provenance (e.g. which pipeline stage
+                # launched this campaign); empty for direct launches.
+                "metadata": dict(self.metadata),
                 "status": "created",
                 "created_at_wall": iso_now(),
             }
@@ -429,7 +438,7 @@ class Experiment:
             raise NotFoundError(
                 f"no experiment named (or with id) {name_or_id!r}"
             )
-        experiment = cls(db, doc["name"])
+        experiment = cls(db, doc["name"], metadata=doc.get("metadata"))
         experiment.experiment_id = doc["_id"]
         experiment._loaded = True
         experiment._axes = {

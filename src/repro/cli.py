@@ -272,6 +272,66 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fail (exit 1) on warnings too, not just errors",
     )
 
+    reproduce = commands.add_parser(
+        "reproduce",
+        help="run a reproduction manifest end to end: content-addressed "
+        "stages, validation gates, bounded backtracking",
+    )
+    reproduce.add_argument(
+        "manifest", help="path to a pipeline manifest (YAML or JSON)"
+    )
+    reproduce.add_argument(
+        "--db", default="memory://", metavar="URI",
+        help="database URI the pipeline journals into (file:///dir to "
+        "make the second run a cache hit)",
+    )
+    reproduce.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="STAGE.PARAM=VALUE",
+        help="override one stage parameter (JSON value or plain "
+        "string); re-executes exactly that stage and its dependents",
+    )
+    reproduce.add_argument(
+        "--no-stage-cache", dest="stage_cache", action="store_false",
+        default=True,
+        help="ignore journaled stage results; every stage executes",
+    )
+    reproduce.add_argument(
+        "--expect-cache-hits", type=float, default=None, metavar="PCT",
+        help="fail (exit 1) unless at least PCT%% of stage decisions "
+        "were cache hits (CI uses this to assert incrementality)",
+    )
+    reproduce.add_argument(
+        "--quiet", action="store_true",
+        help="print only the final summary line",
+    )
+
+    pipeline = commands.add_parser(
+        "pipeline",
+        help="inspect or re-run journaled reproduction pipelines",
+    )
+    pipeline.add_argument(
+        "action", choices=("status", "explain", "rerun"),
+        help="status: one line per pipeline run; explain: replay one "
+        "run's decision trail with per-stage provenance; rerun: "
+        "re-execute the latest run's manifest (cache hits where "
+        "nothing changed)",
+    )
+    pipeline.add_argument(
+        "target", nargs="?", default=None,
+        help="pipeline run id or pipeline name (default: the latest "
+        "run for explain/rerun)",
+    )
+    pipeline.add_argument(
+        "--db", required=True, metavar="URI",
+        help="database URI holding the pipeline journal",
+    )
+    pipeline.add_argument(
+        "--stage", default=None, metavar="NAME",
+        help="rerun only: evict this stage's journaled results first, "
+        "forcing it and its dependents to re-execute",
+    )
+
     trace = commands.add_parser(
         "trace",
         help="render an archived experiment timeline (requires a run "
@@ -309,6 +369,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "ckpt": _cmd_ckpt,
         "db": _cmd_db,
         "admit": _cmd_admit,
+        "reproduce": _cmd_reproduce,
+        "pipeline": _cmd_pipeline,
     }[args.command]
     return handler(args)
 
@@ -1167,6 +1229,207 @@ def _cmd_report(args) -> int:
         print(f"error: {error}")
         return 1
     return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.art import ArtifactDB
+    from repro.common.errors import ReproError
+    from repro.db import connect
+    from repro.pipeline import load_manifest, run_pipeline
+
+    try:
+        manifest = load_manifest(args.manifest, overrides=args.overrides)
+        db = ArtifactDB(connect(args.db))
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+    if not args.quiet:
+        print(
+            f"reproduce {manifest.name!r}: "
+            f"{len(manifest.stages)} stages, "
+            f"order {' -> '.join(manifest.execution_order())}"
+        )
+    result = run_pipeline(
+        db, manifest, use_cache=None if args.stage_cache else False
+    )
+    db.save()
+    if not args.quiet:
+        for event in result["trail"]:
+            print(f"  {_trail_line(event)}")
+    counts = result["counts"]
+    decisions = counts["executed"] + counts["cache_hits"]
+    hit_pct = 100.0 * counts["cache_hits"] / decisions if decisions else 0.0
+    print(
+        f"pipeline {result['pipeline_id'][:8]} {result['status']}: "
+        f"{counts['executed']} executed, "
+        f"{counts['cache_hits']} cache hits ({hit_pct:.0f}%), "
+        f"{counts['gate_failures']} gate failures, "
+        f"{counts['backtracks']} backtracks"
+    )
+    if result["status"] != "succeeded":
+        print(f"error: {result['error']}")
+        return 1
+    if (
+        args.expect_cache_hits is not None
+        and hit_pct < args.expect_cache_hits
+    ):
+        print(
+            f"error: expected >= {args.expect_cache_hits:.0f}% stage "
+            f"cache hits, observed {hit_pct:.0f}%"
+        )
+        return 1
+    return 0
+
+
+def _trail_line(event) -> str:
+    kind = event.get("event")
+    if kind == "stage":
+        return (
+            f"[{event['action']:>9}] {event['stage']} "
+            f"(kind={event['kind']} attempt={event['attempt']} "
+            f"gates={'ok' if event['gates_ok'] else 'FAILED'} "
+            f"fp={event['fingerprint'][:12]})"
+        )
+    if kind == "backtrack":
+        return (
+            f"[backtrack] {event['from_stage']} -> {event['to_stage']} "
+            f"({event['backtracks_used']}/{event['max_backtracks']}: "
+            f"{'; '.join(event['failed_gates'])})"
+        )
+    if kind == "gate_failed_final":
+        return (
+            f"[gate-fail] {event['stage']} out of backtracks: "
+            f"{'; '.join(event['failed_gates'])}"
+        )
+    if kind == "stage_error":
+        return f"[    error] {event['stage']}: {event['error']}"
+    if kind == "finished":
+        return f"[ finished] {event['status']}"
+    return str({k: v for k, v in event.items() if k != "at_wall"})
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.art import ArtifactDB
+    from repro.common.errors import NotFoundError, ReproError
+    from repro.db import connect
+    from repro.pipeline import (
+        PipelineJournal,
+        load_manifest,
+        run_pipeline,
+    )
+
+    try:
+        db = ArtifactDB(connect(args.db))
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+    journal = PipelineJournal(db)
+
+    if args.action == "status":
+        docs = journal.pipelines(name=None)
+        if args.target:
+            docs = [
+                doc
+                for doc in docs
+                if args.target in (doc["pipeline"], doc["_id"])
+            ]
+        if not docs:
+            print("no pipeline runs journaled")
+            return 1
+        table = TextTable(
+            ["Run", "Pipeline", "Status", "Exec", "Hits", "Gates!",
+             "Back", "Started"],
+            title="PIPELINE RUNS",
+        )
+        for doc in docs:
+            counts = doc.get("counts") or {}
+            table.add_row(
+                [
+                    doc["_id"][:8],
+                    doc["pipeline"],
+                    doc["status"],
+                    str(counts.get("executed", 0)),
+                    str(counts.get("cache_hits", 0)),
+                    str(counts.get("gate_failures", 0)),
+                    str(counts.get("backtracks", 0)),
+                    str(doc.get("started_at_wall", "?"))[:19],
+                ]
+            )
+        print(table.render())
+        return 0
+
+    # explain / rerun address one pipeline run.
+    doc = None
+    if args.target:
+        try:
+            doc = journal.get_pipeline(args.target)
+        except NotFoundError:
+            doc = journal.latest_pipeline(name=args.target)
+    else:
+        doc = journal.latest_pipeline()
+    if doc is None:
+        print(f"error: no pipeline run matches {args.target!r}")
+        return 1
+
+    if args.action == "explain":
+        print(
+            f"pipeline {doc['pipeline']!r} run {doc['_id'][:8]} "
+            f"[{doc['status']}] manifest "
+            f"{doc['manifest_fingerprint'][:12]} "
+            f"({doc.get('manifest_path') or 'inline'})"
+        )
+        print(f"  stage order: {' -> '.join(doc['stage_order'])}")
+        print("  decision trail:")
+        for event in doc.get("trail", []):
+            print(f"    {_trail_line(event)}")
+        print("  stage provenance:")
+        for stage in journal.stages_of(doc["_id"]):
+            verdicts = stage.get("verdicts") or []
+            print(
+                f"    {stage['stage']} attempt {stage['attempt']} "
+                f"[{stage['action']}] fp={stage['fingerprint'][:12]} "
+                f"outputs={str(stage.get('outputs_blob'))[:12]}"
+            )
+            for verdict in verdicts:
+                mark = "pass" if verdict["ok"] else "FAIL"
+                print(f"      gate {mark}: {verdict.get('detail')}")
+            if stage.get("error"):
+                print(f"      error: {stage['error']}")
+        return 0
+
+    # rerun
+    path = doc.get("manifest_path")
+    if not path:
+        print(
+            "error: the journaled run has no manifest path; "
+            "use 'repro reproduce <manifest>' directly"
+        )
+        return 2
+    try:
+        manifest = load_manifest(path)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+    if args.stage:
+        try:
+            targets = [args.stage] + manifest.dependents_of(args.stage)
+        except ReproError as error:
+            print(f"error: {error}")
+            return 2
+        evicted = journal.evict_stage_records(targets)
+        print(
+            f"evicted {evicted} journaled results for "
+            f"{', '.join(targets)}; they will re-execute"
+        )
+    result = run_pipeline(db, manifest, journal=journal)
+    db.save()
+    for event in result["trail"]:
+        print(f"  {_trail_line(event)}")
+    print(
+        f"pipeline {result['pipeline_id'][:8]} {result['status']}: "
+        f"{result['counts']}"
+    )
+    return 0 if result["status"] == "succeeded" else 1
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ through raw ``time.time()``.
 
 from __future__ import annotations
 
+import collections
 import threading
 import time
 from contextlib import contextmanager
@@ -231,9 +232,11 @@ class Tracer:
             by_id[span["span_id"]] = span
             children.setdefault(span["parent_id"], []).append(span)
         out: List[Dict[str, Any]] = []
-        frontier = [root_span_id]
+        # deque, not list.pop(0): popping the head of a list is O(n), and
+        # archived experiment traces reach hundreds of thousands of spans.
+        frontier = collections.deque([root_span_id])
         while frontier:
-            span_id = frontier.pop(0)
+            span_id = frontier.popleft()
             span = by_id.get(span_id)
             if span is not None:
                 out.append(span)

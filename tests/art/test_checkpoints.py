@@ -179,3 +179,40 @@ def test_stats_summary(store):
     assert summary["restores"] == 2
     assert summary["boot_seconds_archived"] == pytest.approx(15.0)
     assert summary["by_boot_type"] == {"systemd": 1, "init": 1}
+
+
+def test_gc_racing_inflight_boot_keeps_live_prefix(db, store):
+    """gc() running while a live prefix's boot is still in flight must
+    not disturb the leader: the checkpoint it stores afterwards survives
+    and a follower adopts it without booting again."""
+    store.store("orphan", make_checkpoint(num_cpus=8))
+    boot_started = threading.Event()
+    release_boot = threading.Event()
+
+    def slow_boot():
+        boot_started.set()
+        assert release_boot.wait(timeout=5.0)
+        return make_checkpoint(num_cpus=1)
+
+    leader_result = []
+
+    def leader():
+        leader_result.append(store.get_or_boot("inflight", slow_boot))
+
+    thread = threading.Thread(target=leader)
+    thread.start()
+    assert boot_started.wait(timeout=5.0)
+    # Mid-boot sweep: "inflight" is in the live set, "orphan" is not.
+    assert store.gc(live_prefixes={"inflight"}) == 1
+    release_boot.set()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+
+    assert leader_result == [make_checkpoint(num_cpus=1)]
+    assert store.lookup("inflight") is not None
+    assert store.lookup("orphan") is None
+
+    def follower_boot():
+        raise AssertionError("follower must adopt the leader's work")
+
+    assert store.get_or_boot("inflight", follower_boot) is not None

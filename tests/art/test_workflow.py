@@ -4,7 +4,11 @@ import pytest
 
 from repro.art import ArtifactDB, register_gem5_binary, register_repo
 from repro.art.artifact import Artifact
-from repro.art.workflow import render_workflow, workflow_graph
+from repro.art.workflow import (
+    render_workflow,
+    workflow_graph,
+    workflow_to_dot,
+)
 from repro.common.errors import ValidationError
 from repro.sim import Gem5Build
 
@@ -16,7 +20,12 @@ def db():
 
 def test_empty_graph(db):
     graph = workflow_graph(db)
-    assert graph == {"nodes": [], "edges": [], "order": []}
+    assert graph == {
+        "nodes": [],
+        "edges": [],
+        "order": [],
+        "warnings": [],
+    }
 
 
 def test_dependencies_become_edges(db):
@@ -80,3 +89,86 @@ def test_render_workflow(db):
     text = render_workflow(db)
     assert "gem5 (git repo)" in text
     assert "<- gem5" in text
+
+
+def test_duplicate_inputs_deduplicated_with_warning(db):
+    base = Artifact.register_artifact(
+        db, name="base", typ="t", path="p", content=b"base"
+    )
+    db.put_artifact(
+        {
+            "_id": "dup",
+            "name": "dup",
+            "type": "t",
+            "hash": "hd",
+            # The same input listed twice: must become ONE edge, not two
+            # (two would double-count in-degree and wedge the topo sort
+            # consumer that decrements it once per unique source).
+            "inputs": [base.id, base.id],
+        }
+    )
+    graph = workflow_graph(db)
+    assert graph["edges"].count((base.id, "dup")) == 1
+    assert graph["warnings"] == [
+        {"artifact": "dup", "duplicate_inputs": [base.id]}
+    ]
+    assert graph["order"].index(base.id) < graph["order"].index("dup")
+
+
+def test_dot_escapes_hostile_names(db):
+    hostile = 'disk "v2\\final"'
+    db.put_artifact(
+        {
+            "_id": 'id-"quoted"',
+            "name": hostile,
+            "type": 'ty"pe',
+            "hash": "hh",
+            "inputs": [],
+        }
+    )
+    dot = workflow_to_dot(db, name='graph "g"')
+    # Every quote inside an id/label must be escaped: unescaped would
+    # appear as `"..." "..."` and break Graphviz parsing.
+    assert '"graph \\"g\\""' in dot
+    assert '"id-\\"quoted\\""' in dot
+    assert 'disk \\"v2\\\\final\\"' in dot
+    # No line may contain a bare interior quote sequence like `""` that
+    # did not come from an escape.
+    for line in dot.splitlines():
+        assert '""' not in line.replace('\\"', "")
+
+
+def test_topological_order_matches_sorted_reference(db):
+    # The heap-based order must equal the old sort-per-step order:
+    # lexicographically smallest ready node first, deterministically.
+    import random
+
+    rng = random.Random(42)
+    nodes = [f"n{i:03d}" for i in range(120)]
+    edges = []
+    for i, node in enumerate(nodes):
+        for _ in range(rng.randrange(0, 3)):
+            j = rng.randrange(i + 1, len(nodes) + 1)
+            if j < len(nodes):
+                edges.append((node, nodes[j]))
+    from repro.art.workflow import topological_order
+
+    def reference(node_ids, edge_list):
+        incoming = {n: 0 for n in node_ids}
+        adjacency = {n: [] for n in node_ids}
+        for source, target in edge_list:
+            incoming[target] += 1
+            adjacency[source].append(target)
+        ready = sorted(n for n, c in incoming.items() if c == 0)
+        order = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for neighbour in adjacency[node]:
+                incoming[neighbour] -= 1
+                if incoming[neighbour] == 0:
+                    ready.append(neighbour)
+            ready.sort()
+        return order
+
+    assert topological_order(nodes, edges) == reference(nodes, edges)

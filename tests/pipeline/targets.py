@@ -1,0 +1,58 @@
+"""Python-stage targets the pipeline tests reference by dotted path.
+
+The executor imports these via ``params.target = 'tests.pipeline.targets:
+<name>'`` — the escape hatch that lets tests drive the cache/gate/
+backtrack machinery without touching the simulator.
+
+``CALLS`` records every invocation so tests can assert *which* stages
+actually executed (vs cache hits); reset it per test via the fixture in
+``conftest``-style setup or directly.
+"""
+
+from typing import Any, Dict, List
+
+#: (stage_name, attempt) per actual execution, in order.
+CALLS: List[tuple] = []
+
+
+def reset() -> None:
+    del CALLS[:]
+
+
+def emit(ctx) -> Dict[str, Any]:
+    """Emit a configured value; records the call."""
+    CALLS.append((ctx.stage.name, ctx.attempt))
+    return {"value": ctx.params.get("value", 0)}
+
+
+def emit_attempt(ctx) -> Dict[str, Any]:
+    """Emit the attempt number itself — deterministic flakiness: a
+    gate like ``value >= 2`` fails at attempt 1 and passes at 2."""
+    CALLS.append((ctx.stage.name, ctx.attempt))
+    return {"value": ctx.attempt}
+
+
+def add_inputs(ctx) -> Dict[str, Any]:
+    """Sum every upstream ``value`` plus an optional ``salt`` param;
+    records the call."""
+    CALLS.append((ctx.stage.name, ctx.attempt))
+    total = sum(
+        outputs.get("value", 0) for outputs in ctx.inputs.values()
+    ) + ctx.params.get("salt", 0)
+    return {"value": total, "sources": sorted(ctx.inputs)}
+
+
+def explode(ctx) -> Dict[str, Any]:
+    """Always crashes — exercises the stage-error journaling path."""
+    CALLS.append((ctx.stage.name, ctx.attempt))
+    raise RuntimeError("boom")
+
+
+def check_even(outputs) -> Dict[str, Any]:
+    """Callable-gate predicate: passes when ``value`` is even."""
+    value = outputs.get("value")
+    return {
+        "ok": isinstance(value, int) and value % 2 == 0,
+        "observed": value,
+        "detail": f"value={value!r} must be even",
+    }
